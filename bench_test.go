@@ -1,0 +1,229 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation section as testing.B targets, plus ablation benches
+// for the design choices called out in DESIGN.md. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableX/BenchmarkFigX wraps the corresponding experiment at
+// a benchmark-friendly scale; cmd/experiments runs them at paper scale and
+// prints the paper-style rows.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/filter"
+	"repro/internal/qnoise"
+	"repro/internal/sfg"
+	"repro/internal/systems"
+)
+
+// benchOpts shrinks Monte-Carlo sizes so a full -bench=. pass stays
+// tractable while preserving every comparison's shape.
+func benchOpts() experiments.Options {
+	return experiments.Options{Samples: 1 << 15, Seed: 1, NPSD: 256}
+}
+
+// BenchmarkTable1_FIR regenerates the FIR half of Table I (147 filters,
+// simulation + PSD estimation + Ed statistics).
+func BenchmarkTable1_FIR(b *testing.B) {
+	bank, err := filter.BuildFIRBank(filter.DefaultFIRBank())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBank(b, bank)
+}
+
+// BenchmarkTable1_IIR regenerates the IIR half of Table I.
+func BenchmarkTable1_IIR(b *testing.B) {
+	bank, err := filter.BuildIIRBank(filter.DefaultIIRBank())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBank(b, bank)
+}
+
+func benchBank(b *testing.B, bank []filter.Filter) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, f := range bank {
+			sys := &systems.SingleFilter{Filt: f}
+			g, err := sys.Graph(experiments.FracDefault)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.NewPSDEvaluator(256).Evaluate(g); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Simulate(experiments.FracDefault, systems.SimConfig{
+				Samples: 4096, Seed: int64(j),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the Ed-versus-d sweep for both systems.
+func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the Ed-versus-N_PSD sweep.
+func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the proposed-versus-agnostic comparison.
+func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6_Estimation times the proposed evaluator alone on both
+// systems at the paper's default N_PSD = 1024 — the numerator of Fig. 6's
+// speedup.
+func BenchmarkFig6_Estimation(b *testing.B) {
+	ff, err := systems.NewFreqFilter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sys := range []systems.System{ff, systems.NewDWT()} {
+		g, err := sys.Graph(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev := core.NewPSDEvaluator(1024)
+		b.Run(sys.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Evaluate(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6_Simulation times the Monte-Carlo side (per 2^15 samples) —
+// the denominator of Fig. 6's speedup. The paper's 3-5 orders of magnitude
+// appear when this is scaled to 1e6-1e7 samples.
+func BenchmarkFig6_Simulation(b *testing.B) {
+	ff, err := systems.NewFreqFilter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sys := range []systems.System{ff, systems.NewDWT()} {
+		b.Run(sys.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Simulate(16, systems.SimConfig{Samples: 1 << 15, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates the 2-D error-spectrum experiment at reduced
+// corpus size.
+func BenchmarkFig7(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(experiments.Fig7Options{
+			Size: 32, Images: 8, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorScaling is the ablation for the linear-complexity claim
+// (Section III-B): evaluation time versus N_PSD on the DWT graph should
+// grow linearly once preprocessing is amortized.
+func BenchmarkEvaluatorScaling(b *testing.B) {
+	g, err := systems.NewDWT().Graph(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for n := 64; n <= 4096; n *= 4 {
+		ev := core.NewPSDEvaluator(n)
+		b.Run(fmt.Sprintf("npsd=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Evaluate(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecombination is the ablation for coherent-versus-power-domain
+// recombination of reconvergent paths: the comb graph (direct + delayed
+// path) evaluated by the proposed method (coherent, exact) and the
+// agnostic baseline (power domain).
+func BenchmarkRecombination(b *testing.B) {
+	g := combGraph()
+	for _, ev := range []core.Evaluator{core.NewPSDEvaluator(1024), core.NewAgnosticEvaluator(1024)} {
+		b.Run(ev.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Evaluate(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func combGraph() *sfg.Graph {
+	g := sfg.New()
+	in := g.Input("in")
+	gp := g.Gain("direct", 1)
+	dl := g.Delay("z1", 1)
+	a := g.Adder("sum")
+	out := g.Output("out")
+	g.Connect(in, gp)
+	g.Connect(in, dl)
+	g.Connect(gp, a)
+	g.Connect(dl, a)
+	g.Connect(a, out)
+	g.SetNoise(in, qnoise.Source{Mode: systems.Mode, Frac: 12})
+	return g
+}
+
+// BenchmarkSimulationThroughput measures raw fxsim sample throughput on a
+// mid-size FIR graph — the baseline cost every experiment's Monte-Carlo
+// column pays.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	f, err := filter.DesignFIR(filter.FIRSpec{Band: filter.Lowpass, Taps: 64, F1: 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := &systems.SingleFilter{Filt: f}
+	b.ReportAllocs()
+	b.SetBytes(1 << 16 * 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Simulate(12, systems.SimConfig{Samples: 1 << 16, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command filtergen designs FIR and IIR filters from the command line and
+// prints their coefficients and frequency response — the design front-end
+// of the library, handy for inspecting the Table-I bank members.
+//
+// Usage:
+//
+//	filtergen -type fir -band lowpass -taps 63 -f1 0.2 -window hamming
+//	filtergen -type iir -kind butterworth -band bandpass -order 4 -f1 0.1 -f2 0.2
+//	filtergen -type iir -sos -band lowpass -order 8 -f1 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dsp"
+	"repro/internal/filter"
+)
+
+func main() {
+	var (
+		ftype  = flag.String("type", "fir", "fir | iir")
+		band   = flag.String("band", "lowpass", "lowpass | highpass | bandpass | bandstop")
+		kind   = flag.String("kind", "butterworth", "butterworth | chebyshev1 (IIR)")
+		window = flag.String("window", "hamming", "rectangular | hann | hamming | blackman | kaiser (FIR)")
+		taps   = flag.Int("taps", 63, "FIR length")
+		order  = flag.Int("order", 4, "IIR prototype order")
+		f1     = flag.Float64("f1", 0.2, "first cutoff (cycles/sample)")
+		f2     = flag.Float64("f2", 0, "second cutoff for bandpass/bandstop")
+		ripple = flag.Float64("ripple", 1, "Chebyshev passband ripple (dB)")
+		beta   = flag.Float64("beta", 8.6, "Kaiser beta")
+		sos    = flag.Bool("sos", false, "emit IIR as second-order sections")
+		resp   = flag.Int("resp", 64, "response table grid (0 disables)")
+	)
+	flag.Parse()
+	if err := run(*ftype, *band, *kind, *window, *taps, *order, *f1, *f2, *ripple, *beta, *sos, *resp); err != nil {
+		fmt.Fprintln(os.Stderr, "filtergen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ftype, band, kind, window string, taps, order int, f1, f2, ripple, beta float64, sos bool, resp int) error {
+	bt, err := parseBand(band)
+	if err != nil {
+		return err
+	}
+	switch ftype {
+	case "fir":
+		wt, err := parseWindow(window)
+		if err != nil {
+			return err
+		}
+		f, err := filter.DesignFIR(filter.FIRSpec{
+			Band: bt, Taps: taps, F1: f1, F2: f2, Window: wt, Beta: beta,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %s\nb =", f.String())
+		for _, c := range f.B {
+			fmt.Printf(" %.12g", c)
+		}
+		fmt.Println()
+		if resp > 0 {
+			f.WriteResponse(os.Stdout, resp)
+		}
+		return nil
+	case "iir":
+		ik := filter.Butterworth
+		if kind == "chebyshev1" {
+			ik = filter.Chebyshev1
+		} else if kind != "butterworth" {
+			return fmt.Errorf("unknown IIR kind %q", kind)
+		}
+		spec := filter.IIRSpec{Kind: ik, Band: bt, Order: order, F1: f1, F2: f2, RippleDB: ripple}
+		if sos {
+			cas, err := filter.DesignIIRSOS(spec)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# %v %v order %d as %d sections, gain %.12g\n",
+				ik, bt, cas.Order(), len(cas.Sections), cas.Gain)
+			for i, s := range cas.Sections {
+				fmt.Printf("sos[%d] b = %.12g %.12g %.12g | a = 1 %.12g %.12g\n",
+					i, s.B0, s.B1, s.B2, s.A1, s.A2)
+			}
+			return nil
+		}
+		f, err := filter.DesignIIR(spec)
+		if err != nil {
+			return err
+		}
+		if !f.IsStable() {
+			return fmt.Errorf("design is unstable; use -sos for high orders")
+		}
+		fmt.Printf("# %s\nb =", f.String())
+		for _, c := range f.B {
+			fmt.Printf(" %.12g", c)
+		}
+		fmt.Print("\na =")
+		for _, c := range f.A {
+			fmt.Printf(" %.12g", c)
+		}
+		fmt.Println()
+		if resp > 0 {
+			f.WriteResponse(os.Stdout, resp)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown filter type %q", ftype)
+	}
+}
+
+func parseBand(s string) (filter.BandType, error) {
+	switch s {
+	case "lowpass":
+		return filter.Lowpass, nil
+	case "highpass":
+		return filter.Highpass, nil
+	case "bandpass":
+		return filter.Bandpass, nil
+	case "bandstop":
+		return filter.Bandstop, nil
+	default:
+		return 0, fmt.Errorf("unknown band %q", s)
+	}
+}
+
+func parseWindow(s string) (dsp.WindowType, error) {
+	switch s {
+	case "rectangular":
+		return dsp.Rectangular, nil
+	case "hann":
+		return dsp.Hann, nil
+	case "hamming":
+		return dsp.Hamming, nil
+	case "blackman":
+		return dsp.Blackman, nil
+	case "kaiser":
+		return dsp.Kaiser, nil
+	default:
+		return 0, fmt.Errorf("unknown window %q", s)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunFIR(t *testing.T) {
+	if err := run("fir", "lowpass", "", "hamming", 21, 0, 0.2, 0, 0, 0, false, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIIRDirectAndSOS(t *testing.T) {
+	if err := run("iir", "bandpass", "butterworth", "", 0, 3, 0.1, 0.2, 1, 0, false, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("iir", "bandpass", "butterworth", "", 0, 5, 0.1, 0.2, 1, 0, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("iir", "lowpass", "chebyshev1", "", 0, 4, 0.2, 0, 0.5, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("warp", "lowpass", "", "hamming", 21, 0, 0.2, 0, 0, 0, false, 0); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	if err := run("fir", "nope", "", "hamming", 21, 0, 0.2, 0, 0, 0, false, 0); err == nil {
+		t.Fatal("unknown band should fail")
+	}
+	if err := run("fir", "lowpass", "", "nope", 21, 0, 0.2, 0, 0, 0, false, 0); err == nil {
+		t.Fatal("unknown window should fail")
+	}
+	if err := run("iir", "lowpass", "nope", "", 0, 4, 0.2, 0, 0, 0, false, 0); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}

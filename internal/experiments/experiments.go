@@ -1,0 +1,460 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section (Section IV). Each experiment returns a typed result
+// with a formatted rendering; cmd/experiments drives them from the command
+// line and the repository-root benchmarks wrap them as testing.B targets.
+//
+// Sign convention: Ed = (E[err_sim^2] - E[err_est^2]) / E[err_sim^2]
+// exactly as the paper's Eq. 15 — negative values are overestimates.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/sfg"
+	"repro/internal/stats"
+	"repro/internal/systems"
+)
+
+// Options tunes the experiment scale. Zero values select paper-appropriate
+// defaults; tests shrink Samples for speed.
+type Options struct {
+	// Samples is the Monte-Carlo stimulus length (paper: 1e6-1e7).
+	Samples int
+	// Seed makes all runs reproducible.
+	Seed int64
+	// NPSD is the default PSD grid (paper: 1024).
+	NPSD int
+	// Workers bounds parallel simulation fan-out (default: GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples <= 0 {
+		o.Samples = 1 << 20
+	}
+	if o.NPSD <= 0 {
+		o.NPSD = 1024
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// FracDefault is the fractional width used where the paper does not sweep
+// it (Table I).
+const FracDefault = 12
+
+// ---------------------------------------------------------------------------
+// Table I — Ed statistics over the 147-filter FIR and IIR banks.
+
+// Table1Row is one row group of Table I.
+type Table1Row struct {
+	Label   string
+	N       int
+	MinEd   float64
+	MaxEd   float64
+	MeanAbs float64
+}
+
+// Table1Result holds both filter families.
+type Table1Result struct {
+	FIR Table1Row
+	IIR Table1Row
+}
+
+// Table1 runs the 147 FIR and 147 IIR single-filter experiments: each
+// filter's output error power is measured by simulation and estimated by
+// the proposed PSD method; Ed statistics are aggregated per family.
+func Table1(opt Options) (*Table1Result, error) {
+	opt = opt.withDefaults()
+	firBank, err := filter.BuildFIRBank(filter.DefaultFIRBank())
+	if err != nil {
+		return nil, err
+	}
+	iirBank, err := filter.BuildIIRBank(filter.DefaultIIRBank())
+	if err != nil {
+		return nil, err
+	}
+	fir, err := bankEds(firBank, opt)
+	if err != nil {
+		return nil, err
+	}
+	iir, err := bankEds(iirBank, opt)
+	if err != nil {
+		return nil, err
+	}
+	fs := stats.Summarize(fir)
+	is := stats.Summarize(iir)
+	return &Table1Result{
+		FIR: Table1Row{Label: "FIR filters", N: fs.N, MinEd: fs.Min, MaxEd: fs.Max, MeanAbs: fs.MeanAbs},
+		IIR: Table1Row{Label: "IIR filters", N: is.N, MinEd: is.Min, MaxEd: is.Max, MeanAbs: is.MeanAbs},
+	}, nil
+}
+
+// bankEds evaluates Ed for every filter of a bank in parallel.
+func bankEds(bank []filter.Filter, opt Options) ([]float64, error) {
+	eds := make([]float64, len(bank))
+	errs := make([]error, len(bank))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Workers)
+	for i := range bank {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sys := &systems.SingleFilter{Filt: bank[i]}
+			g, err := sys.Graph(FracDefault)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			est, err := core.NewPSDEvaluator(opt.NPSD).Evaluate(g)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sim, err := sys.Simulate(FracDefault, systems.SimConfig{
+				Samples: opt.Samples, Seed: opt.Seed + int64(i),
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			eds[i] = stats.Ed(sim.Power, est.Power)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return eds, nil
+}
+
+// Render writes the paper-style table.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "TABLE I: relative error power estimation statistics Ed\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %12s\n", "", "FIR filters", "IIR filters", "")
+	fmt.Fprintf(w, "%-12s %11.2f%% %11.2f%%\n", "min(Ed)", 100*r.FIR.MinEd, 100*r.IIR.MinEd)
+	fmt.Fprintf(w, "%-12s %11.2f%% %11.2f%%\n", "max(Ed)", 100*r.FIR.MaxEd, 100*r.IIR.MaxEd)
+	fmt.Fprintf(w, "%-12s %11.2f%% %11.2f%%\n", "mean(|Ed|)", 100*r.FIR.MeanAbs, 100*r.IIR.MeanAbs)
+	fmt.Fprintf(w, "(n = %d FIR, %d IIR; d = %d frac bits, N_PSD = paper default)\n",
+		r.FIR.N, r.IIR.N, FracDefault)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — Ed versus fractional bit-width d for the two systems.
+
+// Fig4Point is one sweep point.
+type Fig4Point struct {
+	D     int
+	EdFF  float64
+	EdDWT float64
+}
+
+// Fig4Result is the full sweep.
+type Fig4Result struct {
+	Points []Fig4Point
+	NPSD   int
+}
+
+// Fig4 sweeps d in {8, 12, ..., 32} for the frequency-filtering and DWT
+// systems, comparing PSD estimates (N_PSD per Options) with simulation.
+func Fig4(opt Options) (*Fig4Result, error) {
+	opt = opt.withDefaults()
+	ff, err := systems.NewFreqFilter()
+	if err != nil {
+		return nil, err
+	}
+	dwt := systems.NewDWT()
+	res := &Fig4Result{NPSD: opt.NPSD}
+	for d := 8; d <= 32; d += 4 {
+		edFF, err := systemEd(ff, d, opt.NPSD, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 d=%d freq-filter: %w", d, err)
+		}
+		edDWT, err := systemEd(dwt, d, opt.NPSD, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 d=%d dwt: %w", d, err)
+		}
+		res.Points = append(res.Points, Fig4Point{D: d, EdFF: edFF, EdDWT: edDWT})
+	}
+	return res, nil
+}
+
+// systemEd computes Ed for one system at one (d, NPSD).
+func systemEd(sys systems.System, d, npsd int, opt Options) (float64, error) {
+	g, err := sys.Graph(d)
+	if err != nil {
+		return 0, err
+	}
+	est, err := core.NewPSDEvaluator(npsd).Evaluate(g)
+	if err != nil {
+		return 0, err
+	}
+	sim, err := sys.Simulate(d, systems.SimConfig{Samples: opt.Samples, Seed: opt.Seed})
+	if err != nil {
+		return 0, err
+	}
+	return stats.Ed(sim.Power, est.Power), nil
+}
+
+// Render writes the series.
+func (r *Fig4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "FIG 4: Ed versus fractional bit-width d (N_PSD = %d)\n", r.NPSD)
+	fmt.Fprintf(w, "%6s %14s %14s\n", "d", "Freq.Filt.", "DWT 9/7")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%6d %13.2f%% %13.2f%%\n", p.D, 100*p.EdFF, 100*p.EdDWT)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — Ed versus the number of PSD samples N_PSD at d = 32.
+
+// Fig5Point is one grid size.
+type Fig5Point struct {
+	NPSD  int
+	EdFF  float64
+	EdDWT float64
+}
+
+// Fig5Result is the sweep.
+type Fig5Result struct {
+	Points []Fig5Point
+	D      int
+}
+
+// Fig5 sweeps N_PSD in powers of two from 16 to 1024 with d = 32 (the
+// paper's setting); the simulation is run once per system and reused.
+func Fig5(opt Options) (*Fig5Result, error) {
+	opt = opt.withDefaults()
+	const d = 32
+	ff, err := systems.NewFreqFilter()
+	if err != nil {
+		return nil, err
+	}
+	dwt := systems.NewDWT()
+	simFF, err := ff.Simulate(d, systems.SimConfig{Samples: opt.Samples, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	simDWT, err := dwt.Simulate(d, systems.SimConfig{Samples: opt.Samples, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	gFF, err := ff.Graph(d)
+	if err != nil {
+		return nil, err
+	}
+	gDWT, err := dwt.Graph(d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{D: d}
+	for n := 16; n <= 1024; n *= 2 {
+		estFF, err := core.NewPSDEvaluator(n).Evaluate(gFF)
+		if err != nil {
+			return nil, err
+		}
+		estDWT, err := core.NewPSDEvaluator(n).Evaluate(gDWT)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig5Point{
+			NPSD:  n,
+			EdFF:  stats.Ed(simFF.Power, estFF.Power),
+			EdDWT: stats.Ed(simDWT.Power, estDWT.Power),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the series.
+func (r *Fig5Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "FIG 5: Ed versus number of PSD samples N_PSD (d = %d)\n", r.D)
+	fmt.Fprintf(w, "%8s %14s %14s\n", "N_PSD", "Freq.Filt.", "DWT 9/7")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %13.2f%% %13.2f%%\n", p.NPSD, 100*p.EdFF, 100*p.EdDWT)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II — proposed method (max/min accuracy over the N_PSD sweep) versus
+// the PSD-agnostic method.
+
+// Table2Row is one system's comparison.
+type Table2Row struct {
+	System     string
+	ProposedAt struct {
+		MaxAccuracy float64 // Ed at the best N_PSD (1024)
+		MinAccuracy float64 // Ed at the worst N_PSD (16)
+	}
+	Agnostic float64
+}
+
+// Table2Result holds both systems.
+type Table2Result struct {
+	Rows []Table2Row
+	D    int
+}
+
+// Table2 compares the proposed evaluator at N_PSD = 1024 (max accuracy) and
+// N_PSD = 16 (min accuracy) against the PSD-agnostic hierarchical baseline.
+func Table2(opt Options) (*Table2Result, error) {
+	opt = opt.withDefaults()
+	const d = 12
+	ff, err := systems.NewFreqFilter()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{D: d}
+	for _, sys := range []systems.System{ff, systems.NewDWT()} {
+		g, err := sys.Graph(d)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := sys.Simulate(d, systems.SimConfig{Samples: opt.Samples, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		best, err := core.NewPSDEvaluator(1024).Evaluate(g)
+		if err != nil {
+			return nil, err
+		}
+		worst, err := core.NewPSDEvaluator(16).Evaluate(g)
+		if err != nil {
+			return nil, err
+		}
+		agn, err := core.NewAgnosticEvaluator(1024).Evaluate(g)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{System: sys.Name(), Agnostic: stats.Ed(sim.Power, agn.Power)}
+		row.ProposedAt.MaxAccuracy = stats.Ed(sim.Power, best.Power)
+		row.ProposedAt.MinAccuracy = stats.Ed(sim.Power, worst.Power)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the paper-style comparison.
+func (r *Table2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "TABLE II: Ed, PSD-agnostic versus proposed PSD method (d = %d)\n", r.D)
+	fmt.Fprintf(w, "%-18s %16s %16s %16s\n", "", "proposed (max)", "proposed (min)", "PSD agnostic")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %15.2f%% %15.2f%% %15.2f%%\n",
+			row.System, 100*row.ProposedAt.MaxAccuracy, 100*row.ProposedAt.MinAccuracy, 100*row.Agnostic)
+	}
+	for _, row := range r.Rows {
+		worse := math.Abs(row.Agnostic) / math.Max(1e-12, math.Abs(row.ProposedAt.MaxAccuracy))
+		fmt.Fprintf(w, "  %s: agnostic estimate is %.0fx worse than proposed (max accuracy)\n", row.System, worse)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — estimation and simulation time versus N_PSD, with speedup.
+
+// Fig6Point is one grid size.
+type Fig6Point struct {
+	NPSD       int
+	EstFF      time.Duration
+	EstDWT     time.Duration
+	SpeedupFF  float64
+	SpeedupDWT float64
+}
+
+// Fig6Result holds the timing sweep.
+type Fig6Result struct {
+	Points  []Fig6Point
+	SimFF   time.Duration
+	SimDWT  time.Duration
+	Samples int
+}
+
+// Fig6 times the proposed evaluator for N_PSD = 16..4096 on both systems
+// and one Monte-Carlo simulation each, reporting the speedup factor.
+func Fig6(opt Options) (*Fig6Result, error) {
+	opt = opt.withDefaults()
+	const d = 16
+	ff, err := systems.NewFreqFilter()
+	if err != nil {
+		return nil, err
+	}
+	dwt := systems.NewDWT()
+	gFF, err := ff.Graph(d)
+	if err != nil {
+		return nil, err
+	}
+	gDWT, err := dwt.Graph(d)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Samples: opt.Samples}
+	start := time.Now()
+	if _, err := ff.Simulate(d, systems.SimConfig{Samples: opt.Samples, Seed: opt.Seed}); err != nil {
+		return nil, err
+	}
+	res.SimFF = time.Since(start)
+	start = time.Now()
+	if _, err := dwt.Simulate(d, systems.SimConfig{Samples: opt.Samples, Seed: opt.Seed}); err != nil {
+		return nil, err
+	}
+	res.SimDWT = time.Since(start)
+	for n := 16; n <= 4096; n *= 2 {
+		tFF, err := timeEvaluate(gFF, n)
+		if err != nil {
+			return nil, err
+		}
+		tDWT, err := timeEvaluate(gDWT, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig6Point{
+			NPSD:       n,
+			EstFF:      tFF,
+			EstDWT:     tDWT,
+			SpeedupFF:  float64(res.SimFF) / float64(tFF),
+			SpeedupDWT: float64(res.SimDWT) / float64(tDWT),
+		})
+	}
+	return res, nil
+}
+
+// timeEvaluate runs the evaluator enough times to get a stable wall-clock
+// figure and returns the per-evaluation duration.
+func timeEvaluate(g *sfg.Graph, n int) (time.Duration, error) {
+	ev := core.NewPSDEvaluator(n)
+	// Warm-up.
+	if _, err := ev.Evaluate(g); err != nil {
+		return 0, err
+	}
+	const reps = 5
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := ev.Evaluate(g); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / reps, nil
+}
+
+// Render writes the timing table (log10 seconds, like the paper's axes).
+func (r *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "FIG 6: execution time and speedup versus N_PSD (simulation: %d samples)\n", r.Samples)
+	fmt.Fprintf(w, "simulation time: freq-filter %v, dwt %v\n", r.SimFF, r.SimDWT)
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "N_PSD", "est FF", "est DWT", "speedup FF", "speedup DWT")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %12v %12v %11.0fx %11.0fx\n",
+			p.NPSD, p.EstFF, p.EstDWT, p.SpeedupFF, p.SpeedupDWT)
+	}
+}

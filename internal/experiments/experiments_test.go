@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Small-scale options keep CI fast; the cmd binary runs paper scale.
+func fastOpts() Options {
+	return Options{Samples: 1 << 15, Seed: 1, NPSD: 256, Workers: 8}
+}
+
+func TestTable1SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 is heavy")
+	}
+	res, err := Table1(Options{Samples: 1 << 16, Seed: 1, NPSD: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FIR.N != 147 || res.IIR.N != 147 {
+		t.Fatalf("bank sizes %d/%d, want 147/147", res.FIR.N, res.IIR.N)
+	}
+	// FIR estimates must be tight even at small sample counts; IIR wider.
+	if res.FIR.MeanAbs > 0.10 {
+		t.Fatalf("FIR mean|Ed| %.2f%% too large", 100*res.FIR.MeanAbs)
+	}
+	if res.IIR.MeanAbs > 0.50 {
+		t.Fatalf("IIR mean|Ed| %.2f%% too large", 100*res.IIR.MeanAbs)
+	}
+	// Every value is within the sub-one-bit band.
+	for _, v := range []float64{res.FIR.MinEd, res.FIR.MaxEd, res.IIR.MinEd, res.IIR.MaxEd} {
+		if !stats.SubOneBit(v) {
+			t.Fatalf("Ed %.2f%% outside sub-one-bit band", 100*v)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "TABLE I") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	res, err := Fig4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points %d, want 7 (d = 8..32 step 4)", len(res.Points))
+	}
+	// The paper: maximum deviation about 10%. Allow slack for the small
+	// Monte-Carlo runs.
+	for _, p := range res.Points {
+		if math.Abs(p.EdFF) > 0.25 || math.Abs(p.EdDWT) > 0.25 {
+			t.Fatalf("d=%d: Ed FF %.1f%% / DWT %.1f%% too large",
+				p.D, 100*p.EdFF, 100*p.EdDWT)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "FIG 4") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig5SmallScale(t *testing.T) {
+	res, err := Fig5(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points %d, want 7 (16..1024)", len(res.Points))
+	}
+	if res.Points[0].NPSD != 16 || res.Points[6].NPSD != 1024 {
+		t.Fatal("N_PSD sweep bounds wrong")
+	}
+	// At the largest grid both systems should be in a tight band.
+	last := res.Points[6]
+	if math.Abs(last.EdFF) > 0.20 || math.Abs(last.EdDWT) > 0.20 {
+		t.Fatalf("N=1024: Ed FF %.1f%% / DWT %.1f%%", 100*last.EdFF, 100*last.EdDWT)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "FIG 5") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestTable2SmallScale(t *testing.T) {
+	res, err := Table2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if math.Abs(row.ProposedAt.MaxAccuracy) > 0.2 {
+			t.Fatalf("%s: proposed Ed %.1f%% too large", row.System, 100*row.ProposedAt.MaxAccuracy)
+		}
+	}
+	// The DWT row must show the agnostic method failing by a large factor
+	// (paper: 610% vs ~1%).
+	dwtRow := res.Rows[1]
+	if math.Abs(dwtRow.Agnostic) < 5*math.Abs(dwtRow.ProposedAt.MaxAccuracy) {
+		t.Fatalf("DWT agnostic %.1f%% should dwarf proposed %.1f%%",
+			100*dwtRow.Agnostic, 100*dwtRow.ProposedAt.MaxAccuracy)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "TABLE II") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig6Timing(t *testing.T) {
+	res, err := Fig6(Options{Samples: 1 << 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 9 {
+		t.Fatalf("points %d, want 9 (16..4096)", len(res.Points))
+	}
+	// Estimation must beat simulation for every grid size at this scale.
+	for _, p := range res.Points {
+		if p.SpeedupFF < 1 || p.SpeedupDWT < 1 {
+			t.Fatalf("N=%d: speedups %.1f/%.1f < 1", p.NPSD, p.SpeedupFF, p.SpeedupDWT)
+		}
+	}
+	// Estimation time grows with N (allow noise: compare extremes).
+	if res.Points[8].EstDWT < res.Points[0].EstDWT {
+		t.Log("warning: timing noise — largest grid faster than smallest")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "FIG 6") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig7SmallScale(t *testing.T) {
+	res, err := Fig7(Fig7Options{Size: 32, Images: 16, Frac: 12, Levels: 2, Seed: 3, OutDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Ed) > 0.3 {
+		t.Fatalf("Fig7 Ed %.1f%% too large", 100*res.Ed)
+	}
+	if res.ShapeDistance > 0.35 {
+		t.Fatalf("shape distance %.3f too large", res.ShapeDistance)
+	}
+	if res.SimPGM == "" || res.EstPGM == "" {
+		t.Fatal("PGM outputs missing")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "FIG 7") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Samples <= 0 || o.NPSD <= 0 || o.Workers <= 0 {
+		t.Fatal("defaults not applied")
+	}
+	f := Fig7Options{}.withDefaults()
+	if f.Size != 64 || f.Images != 196 || f.Frac != 12 || f.Levels != 2 {
+		t.Fatalf("fig7 defaults %+v", f)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	res, err := Ablation(Options{Samples: 1 << 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaling) != 7 {
+		t.Fatalf("scaling points %d", len(res.Scaling))
+	}
+	if res.Recombination.ProposedPower > 1e-20 {
+		t.Fatalf("proposed should see the exact cancellation, got %g", res.Recombination.ProposedPower)
+	}
+	if res.Recombination.AgnosticPower < 1e-12 {
+		t.Fatal("agnostic should miss the cancellation")
+	}
+	if math.Abs(res.FlatAgreement) > 1e-9 {
+		t.Fatalf("flat and proposed should agree on LTI blocks: %g", res.FlatAgreement)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "ABLATIONS") {
+		t.Fatal("render missing header")
+	}
+}

@@ -1,0 +1,93 @@
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+)
+
+// BankSpec parameterizes the Table-I filter banks: the paper evaluates 147
+// FIR filters (3 band types x taps from 16 to 128) and 147 IIR filters
+// (3 band types x orders 2 to 10), each over several cutoff variants.
+// 3 bands x 7 sizes x 7 cutoff variants = 147.
+type BankSpec struct {
+	Bands    []BandType
+	Sizes    []int     // tap counts (FIR) or orders (IIR)
+	Cutoffs  []float64 // base cutoff frequencies, cycles/sample
+	IIRKind  IIRKind
+	RippleDB float64
+}
+
+// DefaultFIRBank returns the 147-filter FIR bank specification.
+func DefaultFIRBank() BankSpec {
+	return BankSpec{
+		Bands:   []BandType{Lowpass, Highpass, Bandpass},
+		Sizes:   []int{16, 24, 32, 48, 64, 96, 128},
+		Cutoffs: []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35},
+	}
+}
+
+// DefaultIIRBank returns the 147-filter IIR bank specification with orders
+// 2..10 in the paper's range.
+func DefaultIIRBank() BankSpec {
+	return BankSpec{
+		Bands:   []BandType{Lowpass, Highpass, Bandpass},
+		Sizes:   []int{2, 3, 4, 5, 6, 8, 10},
+		Cutoffs: []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35},
+		IIRKind: Butterworth,
+	}
+}
+
+// BuildFIRBank materializes every FIR filter in the spec. The returned
+// count is len(Bands) * len(Sizes) * len(Cutoffs).
+func BuildFIRBank(spec BankSpec) ([]Filter, error) {
+	out := make([]Filter, 0, len(spec.Bands)*len(spec.Sizes)*len(spec.Cutoffs))
+	for _, band := range spec.Bands {
+		for _, taps := range spec.Sizes {
+			for _, fc := range spec.Cutoffs {
+				fs := FIRSpec{Band: band, Taps: taps, F1: fc, Window: dsp.Hamming}
+				if band == Bandpass || band == Bandstop {
+					fs.F1 = fc * 0.75
+					fs.F2 = fc*0.75 + 0.1
+				}
+				f, err := DesignFIR(fs)
+				if err != nil {
+					return nil, fmt.Errorf("filter: bank member %v/%d/%g: %w", band, taps, fc, err)
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	return out, nil
+}
+
+// BuildIIRBank materializes every IIR filter in the spec, skipping any
+// design that comes out unstable (none do for the default bank; the check
+// guards custom specs).
+func BuildIIRBank(spec BankSpec) ([]Filter, error) {
+	out := make([]Filter, 0, len(spec.Bands)*len(spec.Sizes)*len(spec.Cutoffs))
+	for _, band := range spec.Bands {
+		for _, order := range spec.Sizes {
+			for _, fc := range spec.Cutoffs {
+				is := IIRSpec{Kind: spec.IIRKind, Band: band, Order: order, F1: fc, RippleDB: spec.RippleDB}
+				if band == Bandpass || band == Bandstop {
+					// Band transforms double the prototype order; halve it
+					// so the digital order stays within the paper's 2-10
+					// range (and direct-form arithmetic stays sane).
+					is.Order = (order + 1) / 2
+					is.F1 = fc * 0.75
+					is.F2 = fc*0.75 + 0.1
+				}
+				f, err := DesignIIR(is)
+				if err != nil {
+					return nil, fmt.Errorf("filter: bank member %v/%d/%g: %w", band, order, fc, err)
+				}
+				if !f.IsStable() {
+					return nil, fmt.Errorf("filter: bank member %v/%d/%g unstable", band, order, fc)
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package filter
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/dsp"
+)
+
+// FIRSpec describes a windowed-sinc FIR design.
+type FIRSpec struct {
+	Band   BandType
+	Taps   int     // filter length (number of coefficients), >= 1
+	F1     float64 // first cutoff, cycles/sample in (0, 0.5)
+	F2     float64 // second cutoff for Bandpass/Bandstop, F1 < F2 < 0.5
+	Window dsp.WindowType
+	// Beta is the Kaiser beta when Window == dsp.Kaiser; ignored otherwise.
+	Beta float64
+}
+
+// DesignFIR designs a linear-phase FIR filter by the windowed-sinc method.
+// High-pass and band-stop designs require an odd number of taps (type-I
+// symmetry) and are adjusted up by one tap when an even count is requested,
+// matching common design-tool behaviour.
+func DesignFIR(spec FIRSpec) (Filter, error) {
+	if spec.Taps < 1 {
+		return Filter{}, fmt.Errorf("filter: FIR taps %d < 1", spec.Taps)
+	}
+	if spec.F1 <= 0 || spec.F1 >= 0.5 {
+		return Filter{}, fmt.Errorf("filter: cutoff F1=%g outside (0, 0.5)", spec.F1)
+	}
+	needsF2 := spec.Band == Bandpass || spec.Band == Bandstop
+	if needsF2 && (spec.F2 <= spec.F1 || spec.F2 >= 0.5) {
+		return Filter{}, fmt.Errorf("filter: cutoff F2=%g must satisfy F1 < F2 < 0.5", spec.F2)
+	}
+	taps := spec.Taps
+	if (spec.Band == Highpass || spec.Band == Bandstop) && taps%2 == 0 {
+		taps++
+	}
+	var h []float64
+	switch spec.Band {
+	case Lowpass:
+		h = sincLowpass(taps, spec.F1)
+	case Highpass:
+		lp := sincLowpass(taps, spec.F1)
+		h = spectralInvert(lp)
+	case Bandpass:
+		// Difference of two low-pass kernels.
+		lp2 := sincLowpass(taps, spec.F2)
+		lp1 := sincLowpass(taps, spec.F1)
+		h = make([]float64, taps)
+		for i := range h {
+			h[i] = lp2[i] - lp1[i]
+		}
+	case Bandstop:
+		lp1 := sincLowpass(taps, spec.F1)
+		hp2 := spectralInvert(sincLowpass(taps, spec.F2))
+		h = make([]float64, taps)
+		for i := range h {
+			h[i] = lp1[i] + hp2[i]
+		}
+	default:
+		return Filter{}, fmt.Errorf("filter: unknown band type %v", spec.Band)
+	}
+	var w []float64
+	if spec.Window == dsp.Kaiser && spec.Beta > 0 {
+		w = dsp.KaiserWindow(taps, spec.Beta)
+	} else {
+		w = dsp.Window(spec.Window, taps)
+	}
+	for i := range h {
+		h[i] *= w[i]
+	}
+	normalizeGain(h, spec)
+	desc := fmt.Sprintf("%v FIR %d taps (%v window)", spec.Band, taps, spec.Window)
+	return NewFIR(h, desc), nil
+}
+
+// sincLowpass returns the ideal low-pass impulse response truncated to taps
+// samples centered at (taps-1)/2, cutoff fc in cycles/sample.
+func sincLowpass(taps int, fc float64) []float64 {
+	h := make([]float64, taps)
+	center := float64(taps-1) / 2
+	for i := range h {
+		h[i] = 2 * fc * dsp.Sinc(2*fc*(float64(i)-center))
+	}
+	return h
+}
+
+// spectralInvert converts a low-pass kernel into the complementary
+// high-pass: h_hp[n] = delta[n-center] - h_lp[n]. Requires odd length (an
+// integer center), which DesignFIR guarantees.
+func spectralInvert(h []float64) []float64 {
+	out := make([]float64, len(h))
+	for i, v := range h {
+		out[i] = -v
+	}
+	out[(len(h)-1)/2] += 1
+	return out
+}
+
+// normalizeGain scales the kernel so the passband center has unit gain.
+func normalizeGain(h []float64, spec FIRSpec) {
+	f := Filter{B: h, A: []float64{1}}
+	var ref float64
+	switch spec.Band {
+	case Lowpass:
+		ref = real(f.ResponseAt(0))
+	case Highpass:
+		ref = real(f.ResponseAt(0.5))
+	case Bandpass:
+		c := (spec.F1 + spec.F2) / 2
+		ref = cmplx.Abs(f.ResponseAt(c))
+	case Bandstop:
+		ref = real(f.ResponseAt(0))
+	}
+	if ref == 0 {
+		return
+	}
+	for i := range h {
+		h[i] /= ref
+	}
+}

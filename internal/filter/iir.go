@@ -1,0 +1,319 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IIRKind selects the analog prototype family.
+type IIRKind int
+
+const (
+	// Butterworth prototypes are maximally flat in the passband.
+	Butterworth IIRKind = iota
+	// Chebyshev1 prototypes have equiripple passband; the ripple is set by
+	// IIRSpec.RippleDB.
+	Chebyshev1
+)
+
+// String implements fmt.Stringer.
+func (k IIRKind) String() string {
+	switch k {
+	case Butterworth:
+		return "butterworth"
+	case Chebyshev1:
+		return "chebyshev1"
+	default:
+		return fmt.Sprintf("IIRKind(%d)", int(k))
+	}
+}
+
+// IIRSpec describes an IIR design: an analog prototype of the given order
+// warped through the bilinear transform.
+type IIRSpec struct {
+	Kind  IIRKind
+	Band  BandType
+	Order int     // prototype order; Bandpass/Bandstop double it
+	F1    float64 // cutoff (or lower edge), cycles/sample in (0, 0.5)
+	F2    float64 // upper edge for Bandpass/Bandstop
+	// RippleDB is the Chebyshev-I passband ripple (default 1 dB when 0).
+	RippleDB float64
+}
+
+// DesignIIR designs a digital IIR filter from the analog prototype using the
+// bilinear transform with frequency prewarping.
+func DesignIIR(spec IIRSpec) (Filter, error) {
+	if spec.Order < 1 {
+		return Filter{}, fmt.Errorf("filter: IIR order %d < 1", spec.Order)
+	}
+	if spec.F1 <= 0 || spec.F1 >= 0.5 {
+		return Filter{}, fmt.Errorf("filter: cutoff F1=%g outside (0, 0.5)", spec.F1)
+	}
+	needsF2 := spec.Band == Bandpass || spec.Band == Bandstop
+	if needsF2 && (spec.F2 <= spec.F1 || spec.F2 >= 0.5) {
+		return Filter{}, fmt.Errorf("filter: cutoff F2=%g must satisfy F1 < F2 < 0.5", spec.F2)
+	}
+	ripple := spec.RippleDB
+	if ripple <= 0 {
+		ripple = 1
+	}
+	// Analog low-pass prototype poles (cutoff 1 rad/s) and gain.
+	poles, gain, err := prototypeLP(spec.Kind, spec.Order, ripple)
+	if err != nil {
+		return Filter{}, err
+	}
+	// Prototype zeros: none (all at infinity) for both families.
+	var zeros []complex128
+
+	// Prewarp the digital band edges to analog frequencies (T = 1).
+	warp := func(F float64) float64 { return 2 * math.Tan(math.Pi*F) }
+
+	switch spec.Band {
+	case Lowpass:
+		w := warp(spec.F1)
+		zeros, poles, gain = lpToLP(zeros, poles, gain, w)
+	case Highpass:
+		w := warp(spec.F1)
+		zeros, poles, gain = lpToHP(zeros, poles, gain, w)
+	case Bandpass:
+		w1, w2 := warp(spec.F1), warp(spec.F2)
+		zeros, poles, gain = lpToBP(zeros, poles, gain, math.Sqrt(w1*w2), w2-w1)
+	case Bandstop:
+		w1, w2 := warp(spec.F1), warp(spec.F2)
+		zeros, poles, gain = lpToBS(zeros, poles, gain, math.Sqrt(w1*w2), w2-w1)
+	default:
+		return Filter{}, fmt.Errorf("filter: unknown band type %v", spec.Band)
+	}
+
+	zd, pd, kd := bilinear(zeros, poles, gain)
+	b := polyFromRoots(zd)
+	a := polyFromRoots(pd)
+	fb := make([]float64, len(b))
+	fa := make([]float64, len(a))
+	for i, c := range b {
+		fb[i] = real(c) * kd
+	}
+	for i, c := range a {
+		fa[i] = real(c)
+	}
+	f := Filter{
+		B:    fb,
+		A:    fa,
+		Desc: fmt.Sprintf("%v %v order %d", spec.Kind, spec.Band, spec.Order),
+	}.Normalize()
+
+	// Normalize passband gain: Chebyshev even orders sit at -ripple dB at
+	// DC by construction; keep design-tool convention (no extra scaling).
+	return f, nil
+}
+
+// prototypeLP returns the poles and gain of the unit-cutoff analog low-pass
+// prototype: H(s) = gain / prod(s - p_i).
+func prototypeLP(kind IIRKind, order int, rippleDB float64) ([]complex128, float64, error) {
+	switch kind {
+	case Butterworth:
+		poles := make([]complex128, order)
+		for k := 0; k < order; k++ {
+			theta := math.Pi * (2*float64(k) + 1 + float64(order)) / (2 * float64(order))
+			poles[k] = cmplx.Exp(complex(0, theta))
+		}
+		// gain = prod(-p) = 1 for unit-cutoff Butterworth.
+		return poles, 1, nil
+	case Chebyshev1:
+		eps := math.Sqrt(math.Pow(10, rippleDB/10) - 1)
+		mu := math.Asinh(1/eps) / float64(order)
+		poles := make([]complex128, order)
+		for k := 0; k < order; k++ {
+			theta := math.Pi * (2*float64(k) + 1) / (2 * float64(order))
+			poles[k] = complex(-math.Sinh(mu)*math.Sin(theta), math.Cosh(mu)*math.Cos(theta))
+		}
+		gain := 1.0
+		prod := complex(1, 0)
+		for _, p := range poles {
+			prod *= -p
+		}
+		gain = real(prod)
+		if order%2 == 0 {
+			gain /= math.Sqrt(1 + eps*eps)
+		}
+		return poles, gain, nil
+	default:
+		return nil, 0, fmt.Errorf("filter: unknown IIR kind %v", kind)
+	}
+}
+
+// lpToLP scales the prototype to cutoff w0.
+func lpToLP(z, p []complex128, k float64, w0 float64) ([]complex128, []complex128, float64) {
+	nz := scaleRoots(z, w0)
+	np := scaleRoots(p, w0)
+	// Gain scales by w0^(len(p)-len(z)) to keep unit passband gain.
+	k *= math.Pow(w0, float64(len(p)-len(z)))
+	return nz, np, k
+}
+
+// lpToHP maps s -> w0/s.
+func lpToHP(z, p []complex128, k float64, w0 float64) ([]complex128, []complex128, float64) {
+	nz := make([]complex128, 0, len(p))
+	np := make([]complex128, len(p))
+	prodZ, prodP := complex(1, 0), complex(1, 0)
+	for _, zi := range z {
+		prodZ *= -zi
+	}
+	for i, pi := range p {
+		np[i] = complex(w0, 0) / pi
+		prodP *= -pi
+	}
+	for _, zi := range z {
+		nz = append(nz, complex(w0, 0)/zi)
+	}
+	// Degree difference adds zeros at s=0.
+	for i := 0; i < len(p)-len(z); i++ {
+		nz = append(nz, 0)
+	}
+	// k_hp = k * prod(-z)/prod(-p) (real for real filters).
+	if len(z) == 0 {
+		k *= real(complex(1, 0) / prodP)
+	} else {
+		k *= real(prodZ / prodP)
+	}
+	return nz, np, k
+}
+
+// lpToBP maps s -> (s^2 + w0^2)/(bw*s); prototype order doubles.
+func lpToBP(z, p []complex128, k float64, w0, bw float64) ([]complex128, []complex128, float64) {
+	degree := len(p) - len(z)
+	nz := make([]complex128, 0, 2*len(z)+degree)
+	np := make([]complex128, 0, 2*len(p))
+	for _, zi := range z {
+		a, b := quadRoots(zi, w0, bw)
+		nz = append(nz, a, b)
+	}
+	for _, pi := range p {
+		a, b := quadRoots(pi, w0, bw)
+		np = append(np, a, b)
+	}
+	for i := 0; i < degree; i++ {
+		nz = append(nz, 0)
+	}
+	k *= math.Pow(bw, float64(degree))
+	return nz, np, k
+}
+
+// lpToBS maps s -> (bw*s)/(s^2 + w0^2).
+func lpToBS(z, p []complex128, k float64, w0, bw float64) ([]complex128, []complex128, float64) {
+	degree := len(p) - len(z)
+	nz := make([]complex128, 0, 2*len(p))
+	np := make([]complex128, 0, 2*len(p))
+	prodZ, prodP := complex(1, 0), complex(1, 0)
+	for _, zi := range z {
+		prodZ *= -zi
+		inv := complex(1, 0) / zi
+		a, b := quadRoots(inv, w0, bw)
+		nz = append(nz, a, b)
+	}
+	for _, pi := range p {
+		prodP *= -pi
+		inv := complex(1, 0) / pi
+		a, b := quadRoots(inv, w0, bw)
+		np = append(np, a, b)
+	}
+	// Degree difference adds zero pairs at +-j*w0.
+	for i := 0; i < degree; i++ {
+		nz = append(nz, complex(0, w0), complex(0, -w0))
+	}
+	if len(z) == 0 {
+		k *= real(complex(1, 0) / prodP)
+	} else {
+		k *= real(prodZ / prodP)
+	}
+	return nz, np, k
+}
+
+// quadRoots solves s^2 - (r*bw) s + w0^2 = 0 for the band transform of root
+// r, returning both roots.
+func quadRoots(r complex128, w0, bw float64) (complex128, complex128) {
+	half := r * complex(bw/2, 0)
+	d := cmplx.Sqrt(half*half - complex(w0*w0, 0))
+	return half + d, half - d
+}
+
+func scaleRoots(r []complex128, s float64) []complex128 {
+	out := make([]complex128, len(r))
+	for i, v := range r {
+		out[i] = v * complex(s, 0)
+	}
+	return out
+}
+
+// bilinear maps analog zeros/poles/gain to digital via s = 2(z-1)/(z+1)
+// (sampling period T = 1, matching the prewarp in DesignIIR).
+func bilinear(z, p []complex128, k float64) ([]complex128, []complex128, float64) {
+	const fs2 = 2.0 // 2/T
+	zd := make([]complex128, 0, len(p))
+	pd := make([]complex128, len(p))
+	num, den := complex(1, 0), complex(1, 0)
+	for _, zi := range z {
+		zd = append(zd, (complex(fs2, 0)+zi)/(complex(fs2, 0)-zi))
+		num *= complex(fs2, 0) - zi
+	}
+	for i, pi := range p {
+		pd[i] = (complex(fs2, 0) + pi) / (complex(fs2, 0) - pi)
+		den *= complex(fs2, 0) - pi
+	}
+	// Analog zeros at infinity map to z = -1.
+	for i := 0; i < len(p)-len(z); i++ {
+		zd = append(zd, -1)
+	}
+	kd := k * real(num/den)
+	return zd, pd, kd
+}
+
+// polyFromRoots expands prod(x - r_i) into coefficients ordered from x^0's
+// companion [1, c1, c2, ...] in z^-1 form: the returned slice c satisfies
+// P(z) = c[0] + c[1] z^-1 + ... with c[0] == 1, i.e. it is the polynomial
+// prod(1 - r_i z^-1).
+func polyFromRoots(roots []complex128) []complex128 {
+	c := make([]complex128, 1, len(roots)+1)
+	c[0] = 1
+	for _, r := range roots {
+		c = append(c, 0)
+		for i := len(c) - 1; i >= 1; i-- {
+			c[i] -= r * c[i-1]
+		}
+	}
+	return c
+}
+
+// IsStable reports whether all poles of the filter lie strictly inside the
+// unit circle, using the Schur-Cohn (reflection-coefficient) recursion on
+// the denominator. FIR filters are always stable.
+func (f Filter) IsStable() bool {
+	a := f.Normalize().A
+	// Strip trailing zero coefficients.
+	n := len(a)
+	for n > 1 && a[n-1] == 0 {
+		n--
+	}
+	a = a[:n]
+	if len(a) == 1 {
+		return true
+	}
+	// Schur-Cohn: recursively compute reflection coefficients; all must
+	// have magnitude < 1.
+	cur := append([]float64(nil), a...)
+	for len(cur) > 1 {
+		m := len(cur) - 1
+		k := cur[m] / cur[0]
+		if math.Abs(k) >= 1 {
+			return false
+		}
+		next := make([]float64, m)
+		den := 1 - k*k
+		for i := 0; i < m; i++ {
+			next[i] = (cur[i] - k*cur[m-i]) / den
+		}
+		cur = next
+	}
+	return true
+}

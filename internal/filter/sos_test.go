@@ -1,0 +1,164 @@
+package filter
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestBiquadStabilityTriangle(t *testing.T) {
+	stable := Biquad{B0: 1, A1: -1.2, A2: 0.5}
+	if !stable.IsStable() {
+		t.Fatal("section inside triangle reported unstable")
+	}
+	unstable := Biquad{B0: 1, A1: -2.1, A2: 1.2}
+	if unstable.IsStable() {
+		t.Fatal("section outside triangle reported stable")
+	}
+}
+
+func TestSOSMatchesDirectFormResponse(t *testing.T) {
+	for _, spec := range []IIRSpec{
+		{Kind: Butterworth, Band: Lowpass, Order: 6, F1: 0.2},
+		{Kind: Butterworth, Band: Highpass, Order: 5, F1: 0.15},
+		{Kind: Butterworth, Band: Bandpass, Order: 4, F1: 0.1, F2: 0.2},
+		{Kind: Chebyshev1, Band: Lowpass, Order: 5, F1: 0.25, RippleDB: 0.5},
+		{Kind: Butterworth, Band: Bandstop, Order: 3, F1: 0.1, F2: 0.2},
+	} {
+		df, err := DesignIIR(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		cas, err := DesignIIRSOS(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if !cas.IsStable() {
+			t.Fatalf("%+v: cascade unstable", spec)
+		}
+		if cas.Order() != df.Order() {
+			t.Fatalf("%+v: order %d vs %d", spec, cas.Order(), df.Order())
+		}
+		for _, F := range []float64{0.01, 0.05, 0.12, 0.22, 0.35, 0.49} {
+			a := cmplx.Abs(cas.Response(F))
+			b := cmplx.Abs(df.ResponseAt(F))
+			if math.Abs(a-b) > 1e-6*(1+b) {
+				t.Fatalf("%+v at F=%g: sos %g vs direct %g", spec, F, a, b)
+			}
+		}
+	}
+}
+
+func TestSOSRuntimeMatchesDirectForm(t *testing.T) {
+	spec := IIRSpec{Kind: Butterworth, Band: Lowpass, Order: 6, F1: 0.2}
+	df, _ := DesignIIR(spec)
+	cas, _ := DesignIIRSOS(spec)
+	rng := rand.New(rand.NewSource(1))
+	stD := NewState(df)
+	stC := NewSOSState(cas)
+	for i := 0; i < 2000; i++ {
+		x := rng.NormFloat64()
+		yd := stD.Step(x)
+		yc := stC.Step(x)
+		if math.Abs(yd-yc) > 1e-9 {
+			t.Fatalf("sample %d: direct %g vs sos %g", i, yd, yc)
+		}
+	}
+}
+
+func TestSOSNumericallyRobustHighOrder(t *testing.T) {
+	// Order-10 bandpass prototype -> digital order 20: the direct form is
+	// numerically fragile here (the reason the Table-I bank caps bandpass
+	// orders); the cascade must remain stable and bounded.
+	spec := IIRSpec{Kind: Butterworth, Band: Bandpass, Order: 10, F1: 0.0375, F2: 0.1375}
+	cas, err := DesignIIRSOS(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cas.IsStable() {
+		t.Fatal("high-order cascade unstable")
+	}
+	st := NewSOSState(cas)
+	rng := rand.New(rand.NewSource(2))
+	var peak float64
+	for i := 0; i < 50000; i++ {
+		y := st.Step(rng.Float64()*2 - 1)
+		if a := math.Abs(y); a > peak {
+			peak = a
+		}
+	}
+	if peak > 10 || math.IsNaN(peak) {
+		t.Fatalf("output peak %g implausible for a passive bandpass", peak)
+	}
+	// Passband gain ~1 at the geometric center.
+	center := geomCenterDigital(0.0375, 0.1375)
+	if g := cmplx.Abs(cas.Response(center)); math.Abs(g-1) > 0.05 {
+		t.Fatalf("center gain %g", g)
+	}
+	// Deep stopband.
+	if g := cmplx.Abs(cas.Response(0.45)); g > 1e-6 {
+		t.Fatalf("stopband gain %g", g)
+	}
+}
+
+func TestSOSSectionOrdering(t *testing.T) {
+	cas, err := DesignIIRSOS(IIRSpec{Kind: Butterworth, Band: Lowpass, Order: 8, F1: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cas.Sections); i++ {
+		if sectionRadius(cas.Sections[i]) < sectionRadius(cas.Sections[i-1])-1e-12 {
+			t.Fatal("sections not ordered by pole radius")
+		}
+	}
+}
+
+func TestSOSStateReset(t *testing.T) {
+	cas, _ := DesignIIRSOS(IIRSpec{Kind: Butterworth, Band: Lowpass, Order: 4, F1: 0.2})
+	st := NewSOSState(cas)
+	first := st.Process([]float64{1, 0.5, -0.5, 0.25})
+	st.Reset()
+	second := st.Process([]float64{1, 0.5, -0.5, 0.25})
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("reset did not clear state")
+		}
+	}
+}
+
+func TestDesignIIRSOSErrors(t *testing.T) {
+	bad := []IIRSpec{
+		{Kind: Butterworth, Band: Lowpass, Order: 0, F1: 0.2},
+		{Kind: Butterworth, Band: Lowpass, Order: 4, F1: 0.7},
+		{Kind: Butterworth, Band: Bandpass, Order: 4, F1: 0.3, F2: 0.2},
+	}
+	for _, s := range bad {
+		if _, err := DesignIIRSOS(s); err == nil {
+			t.Errorf("spec %+v should fail", s)
+		}
+	}
+}
+
+func TestResponseGrid(t *testing.T) {
+	cas, _ := DesignIIRSOS(IIRSpec{Kind: Butterworth, Band: Lowpass, Order: 4, F1: 0.2})
+	grid := cas.ResponseGrid(32)
+	if len(grid) != 32 {
+		t.Fatalf("grid length %d", len(grid))
+	}
+	for k, v := range grid {
+		want := cas.Response(float64(k) / 32)
+		if cmplx.Abs(v-want) > 1e-12 {
+			t.Fatalf("bin %d mismatch", k)
+		}
+	}
+}
+
+func BenchmarkSOSStep20(b *testing.B) {
+	cas, _ := DesignIIRSOS(IIRSpec{Kind: Butterworth, Band: Bandpass, Order: 10, F1: 0.05, F2: 0.15})
+	st := NewSOSState(cas)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Step(float64(i&3) - 1.5)
+	}
+}

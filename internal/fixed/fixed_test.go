@@ -1,0 +1,387 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatValidate(t *testing.T) {
+	if err := NewFormat(4, 12).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Format{
+		{Int: 0, Frac: 4},
+		{Int: 2, Frac: -1},
+		{Int: 32, Frac: 32},
+	}
+	for _, f := range bad {
+		if f.Validate() == nil {
+			t.Errorf("format %v should be invalid", f)
+		}
+	}
+}
+
+func TestFormatRanges(t *testing.T) {
+	f := NewFormat(4, 4) // 8-bit word: raw in [-128, 127], step 1/16
+	if f.MaxRaw() != 127 || f.MinRaw() != -128 {
+		t.Fatalf("raw range [%d, %d]", f.MinRaw(), f.MaxRaw())
+	}
+	if f.Quantum() != 0.0625 {
+		t.Fatalf("quantum %g", f.Quantum())
+	}
+	if f.MaxFloat() != 127.0/16 || f.MinFloat() != -8 {
+		t.Fatalf("float range [%g, %g]", f.MinFloat(), f.MaxFloat())
+	}
+	if f.String() != "Q(4.4)" {
+		t.Fatalf("string %q", f.String())
+	}
+}
+
+func TestFromFloatRounding(t *testing.T) {
+	ftr := Format{Int: 4, Frac: 2, Round: Truncate, Overflow: Saturate}
+	frn := Format{Int: 4, Frac: 2, Round: RoundNearest, Overflow: Saturate}
+	fce := Format{Int: 4, Frac: 2, Round: RoundConvergent, Overflow: Saturate}
+	// 0.3 * 4 = 1.2 -> trunc 1, nearest 1; 0.4*4 = 1.6 -> trunc 1, nearest 2.
+	if FromFloat(0.3, ftr).Raw != 1 || FromFloat(0.4, ftr).Raw != 1 {
+		t.Fatal("truncate")
+	}
+	if FromFloat(0.3, frn).Raw != 1 || FromFloat(0.4, frn).Raw != 2 {
+		t.Fatal("round nearest")
+	}
+	// Halfway cases: 0.375*4 = 1.5 -> nearest 2, convergent 2 (even); 0.625*4=2.5 -> nearest 3, convergent 2.
+	if FromFloat(0.375, frn).Raw != 2 || FromFloat(0.625, frn).Raw != 3 {
+		t.Fatal("round nearest halfway")
+	}
+	if FromFloat(0.375, fce).Raw != 2 || FromFloat(0.625, fce).Raw != 2 {
+		t.Fatal("convergent halfway")
+	}
+	// Negative truncation goes toward -inf.
+	if FromFloat(-0.3, ftr).Raw != -2 {
+		t.Fatalf("truncate(-0.3) raw %d, want -2", FromFloat(-0.3, ftr).Raw)
+	}
+}
+
+func TestFromFloatSaturation(t *testing.T) {
+	f := NewFormat(4, 4)
+	if v := FromFloat(100, f); v.Raw != f.MaxRaw() {
+		t.Fatalf("positive saturation raw %d", v.Raw)
+	}
+	if v := FromFloat(-100, f); v.Raw != f.MinRaw() {
+		t.Fatalf("negative saturation raw %d", v.Raw)
+	}
+}
+
+func TestFromFloatWrap(t *testing.T) {
+	f := Format{Int: 4, Frac: 0, Round: RoundNearest, Overflow: Wrap}
+	// 4-bit word: range [-8, 7]. 8 wraps to -8; 9 wraps to -7.
+	if v := FromFloat(8, f); v.Raw != -8 {
+		t.Fatalf("wrap(8) raw %d", v.Raw)
+	}
+	if v := FromFloat(9, f); v.Raw != -7 {
+		t.Fatalf("wrap(9) raw %d", v.Raw)
+	}
+	if v := FromFloat(-9, f); v.Raw != 7 {
+		t.Fatalf("wrap(-9) raw %d", v.Raw)
+	}
+}
+
+func TestFloatRoundtripExact(t *testing.T) {
+	f := NewFormat(8, 12)
+	f2 := func(raw int64) bool {
+		raw = raw % f.MaxRaw()
+		v := Value{Raw: raw, Fmt: f}
+		return FromFloat(v.Float(), f).Raw == raw
+	}
+	if err := quick.Check(f2, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddExact(t *testing.T) {
+	f := NewFormat(8, 8)
+	a := FromFloat(1.25, f)
+	b := FromFloat(2.5, f)
+	s := Add(a, b, f)
+	if s.Float() != 3.75 {
+		t.Fatalf("1.25+2.5 = %g", s.Float())
+	}
+	d := Sub(a, b, f)
+	if d.Float() != -1.25 {
+		t.Fatalf("1.25-2.5 = %g", d.Float())
+	}
+}
+
+func TestAddMixedAlignment(t *testing.T) {
+	a := FromFloat(0.5, NewFormat(4, 2))   // grid 0.25
+	b := FromFloat(0.125, NewFormat(4, 8)) // grid 1/256
+	out := NewFormat(8, 8)
+	s := Add(a, b, out)
+	if s.Float() != 0.625 {
+		t.Fatalf("0.5+0.125 = %g", s.Float())
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	f := NewFormat(4, 4)
+	a := FromFloat(7, f)
+	s := Add(a, a, f)
+	if s.Raw != f.MaxRaw() {
+		t.Fatalf("7+7 should saturate, got raw %d (%g)", s.Raw, s.Float())
+	}
+}
+
+func TestMulExact(t *testing.T) {
+	f := NewFormat(8, 16)
+	a := FromFloat(1.5, f)
+	b := FromFloat(-2.25, f)
+	p := Mul(a, b, f)
+	if p.Float() != -3.375 {
+		t.Fatalf("1.5*-2.25 = %g", p.Float())
+	}
+}
+
+func TestMulLargeFractional(t *testing.T) {
+	// Products of Q(2.30) values need 60 fractional bits: exercises the
+	// 128-bit path.
+	f := NewFormat(2, 30)
+	a := FromFloat(0.7, f)
+	b := FromFloat(0.6, f)
+	p := Mul(a, b, f)
+	want := a.Float() * b.Float()
+	if math.Abs(p.Float()-want) > f.Quantum() {
+		t.Fatalf("product %g, want %g +- %g", p.Float(), want, f.Quantum())
+	}
+}
+
+func TestMulMatchesFloatProperty(t *testing.T) {
+	f := NewFormat(4, 24)
+	fn := func(xa, xb float64) bool {
+		xa = math.Mod(xa, 4)
+		xb = math.Mod(xb, 4)
+		if math.IsNaN(xa) || math.IsNaN(xb) {
+			return true
+		}
+		a, b := FromFloat(xa, f), FromFloat(xb, f)
+		p := Mul(a, b, f)
+		want := a.Float() * b.Float()
+		if want > f.MaxFloat() || want < f.MinFloat() {
+			return true // saturation territory, checked elsewhere
+		}
+		return math.Abs(p.Float()-want) <= f.Quantum()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	f := NewFormat(4, 20)
+	v := FromFloat(0.5, f)
+	p := MulConst(v, 0.125, f)
+	if math.Abs(p.Float()-0.0625) > f.Quantum() {
+		t.Fatalf("0.5*0.125 = %g", p.Float())
+	}
+}
+
+func TestMul128Sign(t *testing.T) {
+	cases := []struct{ a, b int64 }{
+		{3, 5}, {-3, 5}, {3, -5}, {-3, -5},
+		{math.MaxInt64, 2}, {math.MinInt64 + 1, 3},
+	}
+	for _, c := range cases {
+		hi, lo := mul128(c.a, c.b)
+		if sm, over := smallProduct(c.a, c.b); over {
+			// Product exceeds int64: check the float64 approximation,
+			// which is exact to within relative 2^-52.
+			got := float64(hi)*math.Ldexp(1, 64) + float64(lo)
+			want := float64(c.a) * float64(c.b)
+			if math.Abs(got-want) > math.Abs(want)*1e-9 {
+				t.Errorf("mul128(%d,%d): hi=%d lo=%d (approx %g), want %g", c.a, c.b, hi, lo, got, want)
+			}
+		} else {
+			// Product fits in int64: hi must be its sign extension and lo
+			// its two's-complement bits.
+			wantHi := int64(0)
+			if sm < 0 {
+				wantHi = -1
+			}
+			if hi != wantHi || int64(lo) != sm {
+				t.Errorf("mul128(%d,%d) = (%d, %d), want (%d, %d)", c.a, c.b, hi, lo, wantHi, sm)
+			}
+		}
+	}
+}
+
+// smallProduct returns a*b and whether it overflows int64.
+func smallProduct(a, b int64) (int64, bool) {
+	p := a * b
+	if a != 0 && p/a != b {
+		return 0, true
+	}
+	return p, false
+}
+
+func TestRequantizeRoundModes(t *testing.T) {
+	// Value 5 at 2 fractional bits (=1.25) requantized to 0 fractional bits.
+	cases := []struct {
+		raw  int64
+		mode RoundMode
+		want int64
+	}{
+		{5, Truncate, 1},        // 1.25 -> 1
+		{5, RoundNearest, 1},    // 1.25 -> 1
+		{6, RoundNearest, 2},    // 1.5 -> 2 (half up)
+		{6, RoundConvergent, 2}, // 1.5 -> 2 (even)
+		{2, RoundConvergent, 0}, // 0.5 -> 0 (even)
+		{-5, Truncate, -2},      // -1.25 -> -2 (toward -inf)
+		{-6, RoundNearest, -1},  // -1.5 -> -1 (half up on raw)
+	}
+	for _, c := range cases {
+		out := Format{Int: 8, Frac: 0, Round: c.mode, Overflow: Saturate}
+		got := requantize(c.raw, 2, out)
+		if got.Raw != c.want {
+			t.Errorf("requantize(%d, frac 2 -> 0, %v) = %d, want %d", c.raw, c.mode, got.Raw, c.want)
+		}
+	}
+}
+
+func TestQuantizerModes(t *testing.T) {
+	qt := NewQuantizer(2, Truncate)
+	qr := NewQuantizer(2, RoundNearest)
+	qc := NewQuantizer(2, RoundConvergent)
+	if qt.Apply(0.3) != 0.25 || qt.Apply(-0.3) != -0.5 {
+		t.Fatal("truncate grid")
+	}
+	if qr.Apply(0.3) != 0.25 || qr.Apply(0.4) != 0.5 {
+		t.Fatal("nearest grid")
+	}
+	if qc.Apply(0.375) != 0.5 || qc.Apply(0.625) != 0.5 {
+		t.Fatal("convergent grid")
+	}
+	if qt.Step() != 0.25 || qt.Frac() != 2 || qt.Mode() != Truncate {
+		t.Fatal("accessors")
+	}
+}
+
+func TestQuantizerErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mode := range []RoundMode{Truncate, RoundNearest, RoundConvergent} {
+		q := NewQuantizer(10, mode)
+		step := q.Step()
+		for i := 0; i < 2000; i++ {
+			x := rng.NormFloat64() * 3
+			e := x - q.Apply(x)
+			switch mode {
+			case Truncate:
+				if e < 0 || e >= step {
+					t.Fatalf("%v: error %g outside [0, %g)", mode, e, step)
+				}
+			default:
+				if e < -step/2-1e-15 || e > step/2+1e-15 {
+					t.Fatalf("%v: error %g outside +-%g/2", mode, e, step)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizerMatchesValuePath(t *testing.T) {
+	// The float grid quantizer and the int64 Value path must agree exactly.
+	fn := func(x float64) bool {
+		x = math.Mod(x, 7)
+		if math.IsNaN(x) {
+			return true
+		}
+		for _, mode := range []RoundMode{Truncate, RoundNearest, RoundConvergent} {
+			q := NewQuantizer(12, mode)
+			f := Format{Int: 8, Frac: 12, Round: mode, Overflow: Saturate}
+			if q.Apply(x) != FromFloat(x, f).Float() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizerIdempotent(t *testing.T) {
+	fn := func(x float64) bool {
+		x = math.Mod(x, 100)
+		if math.IsNaN(x) {
+			return true
+		}
+		q := NewQuantizer(16, RoundNearest)
+		y := q.Apply(x)
+		return q.Apply(y) == y
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizerSliceHelpers(t *testing.T) {
+	q := NewQuantizer(1, Truncate)
+	x := []float64{0.4, 0.9, -0.4}
+	cp := q.Quantized(x)
+	if x[0] != 0.4 {
+		t.Fatal("Quantized must not mutate input")
+	}
+	if cp[0] != 0 || cp[1] != 0.5 || cp[2] != -0.5 {
+		t.Fatalf("Quantized = %v", cp)
+	}
+	q.ApplySlice(x)
+	if x[0] != 0 || x[1] != 0.5 || x[2] != -0.5 {
+		t.Fatalf("ApplySlice = %v", x)
+	}
+	if e := q.Error(0.4); e != 0.4 {
+		t.Fatalf("Error = %g", e)
+	}
+}
+
+func TestIdentityQuantizer(t *testing.T) {
+	var id Identity
+	if id.Apply(0.123456) != 0.123456 {
+		t.Fatal("identity must pass through")
+	}
+}
+
+func TestNewQuantizerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for frac > 52")
+		}
+	}()
+	NewQuantizer(53, Truncate)
+}
+
+func TestModeStrings(t *testing.T) {
+	if Truncate.String() != "truncate" || RoundNearest.String() != "round-nearest" ||
+		RoundConvergent.String() != "round-convergent" {
+		t.Fatal("round mode strings")
+	}
+	if Saturate.String() != "saturate" || Wrap.String() != "wrap" {
+		t.Fatal("overflow mode strings")
+	}
+}
+
+func BenchmarkQuantizerApply(b *testing.B) {
+	q := NewQuantizer(12, RoundNearest)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.Apply(float64(i) * 1e-3)
+	}
+}
+
+func BenchmarkMul128(b *testing.B) {
+	f := NewFormat(2, 30)
+	x := FromFloat(0.7, f)
+	y := FromFloat(0.6, f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y, f)
+	}
+}

@@ -1,0 +1,309 @@
+// Package fxsim is the Monte-Carlo fixed-point simulation engine: it
+// executes a signal-flow graph twice on the same stimulus — once in IEEE
+// double precision (the reference, per Section II of the paper) and once
+// with every block output quantized onto its 2^-d grid (the fixed-point
+// run) — and measures the statistics and spectrum of the output error.
+// This is the "simulation" column of every experiment in the paper.
+package fxsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/filter"
+	"repro/internal/fixed"
+	"repro/internal/psd"
+	"repro/internal/sfg"
+	"repro/internal/stats"
+)
+
+// InputKind selects the built-in stimulus generator.
+type InputKind int
+
+const (
+	// UniformWhite draws i.i.d. samples from U[-1, 1). This satisfies the
+	// PQN model's whiteness assumptions and is the default stimulus.
+	UniformWhite InputKind = iota
+	// GaussianWhite draws i.i.d. N(0, 0.1) samples (clipped to +-1).
+	GaussianWhite
+	// Pink generates 1/f-shaped noise normalized to unit peak, matching
+	// the aggregate spectral statistics of natural images (the substitute
+	// for the paper's image corpora).
+	Pink
+	// Multitone sums a handful of incommensurate sinusoids, a classic
+	// filter-evaluation stimulus.
+	Multitone
+)
+
+// String implements fmt.Stringer.
+func (k InputKind) String() string {
+	switch k {
+	case UniformWhite:
+		return "uniform-white"
+	case GaussianWhite:
+		return "gaussian-white"
+	case Pink:
+		return "pink"
+	case Multitone:
+		return "multitone"
+	default:
+		return fmt.Sprintf("InputKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Samples is the stimulus length (the paper uses 1e6-1e7).
+	Samples int
+	// Seed seeds the deterministic stimulus generator.
+	Seed int64
+	// Input selects the built-in stimulus.
+	Input InputKind
+	// InputSignals overrides generation: per-input-node stimulus keyed by
+	// node ID. When set, Samples/Seed/Input are ignored for those nodes.
+	InputSignals map[sfg.NodeID][]float64
+	// PSDBins, when >= 2, requests a Welch estimate of the error spectrum
+	// on that many bins.
+	PSDBins int
+	// Window tapers PSD estimation segments (dsp.Hann recommended).
+	Window dsp.WindowType
+	// KeepError retains the raw error signal in the outcome.
+	KeepError bool
+}
+
+// Outcome reports the measured fixed-point error at the graph output.
+type Outcome struct {
+	// Power is E[err^2], the simulated output error power.
+	Power float64
+	// Mean and Variance decompose Power.
+	Mean     float64
+	Variance float64
+	// RefPower is the reference output signal power (for SQNR).
+	RefPower float64
+	// ErrPSD is the Welch error spectrum when Config.PSDBins >= 2.
+	ErrPSD psd.PSD
+	// Err is the raw error signal when Config.KeepError is set.
+	Err []float64
+	// Samples is the number of output samples measured.
+	Samples int
+}
+
+// SQNR returns the signal-to-quantization-noise ratio in dB.
+func (o *Outcome) SQNR() float64 { return stats.SQNR(o.RefPower, o.Power) }
+
+// Run simulates the graph and returns the measured error statistics.
+func Run(g *sfg.Graph, cfg Config) (*Outcome, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("fxsim: %w (simulation requires an acyclic graph; model feedback as IIR blocks)", err)
+	}
+	outID, err := g.OutputNode()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Samples <= 0 && len(cfg.InputSignals) == 0 {
+		return nil, fmt.Errorf("fxsim: non-positive sample count %d", cfg.Samples)
+	}
+	// Generate stimuli.
+	inputs := make(map[sfg.NodeID][]float64)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, id := range g.Inputs() {
+		if sig, ok := cfg.InputSignals[id]; ok {
+			inputs[id] = sig
+			continue
+		}
+		inputs[id] = Generate(cfg.Input, cfg.Samples, rng)
+	}
+
+	ref, err := execute(g, order, outID, inputs, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	fx, err := execute(g, order, outID, inputs, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := len(ref)
+	if len(fx) < n {
+		n = len(fx)
+	}
+	out := &Outcome{Samples: n}
+	var errAcc, refAcc stats.Running
+	errSig := make([]float64, n)
+	for i := 0; i < n; i++ {
+		e := fx[i] - ref[i]
+		errSig[i] = e
+		errAcc.Add(e)
+		refAcc.Add(ref[i])
+	}
+	out.Mean = errAcc.Mean()
+	out.Variance = errAcc.Variance()
+	out.Power = errAcc.MeanSquare()
+	out.RefPower = refAcc.MeanSquare()
+	if cfg.PSDBins >= 2 {
+		p, err := psd.Estimate(errSig, psd.EstimateOptions{Bins: cfg.PSDBins, Window: cfg.Window, Overlap: 0.5})
+		if err != nil {
+			return nil, fmt.Errorf("fxsim: error PSD: %w", err)
+		}
+		out.ErrPSD = p
+	}
+	if cfg.KeepError {
+		out.Err = errSig
+	}
+	return out, nil
+}
+
+// execute runs the graph in batch mode. When quantized is true, every node
+// carrying a noise source has its output snapped onto the source's grid —
+// or, for sources with Override moments, perturbed by additive white noise
+// with those moments drawn from rng.
+func execute(g *sfg.Graph, order []sfg.NodeID, outID sfg.NodeID, inputs map[sfg.NodeID][]float64, quantized bool, rng *rand.Rand) ([]float64, error) {
+	signals := make(map[sfg.NodeID][]float64, len(order))
+	// Accumulate per-node inputs from predecessors as they complete.
+	pending := make(map[sfg.NodeID][]float64)
+	for _, id := range order {
+		node := g.Node(id)
+		var in []float64
+		if node.Kind == sfg.KindInput {
+			in = inputs[id]
+		} else {
+			in = pending[id]
+			delete(pending, id)
+		}
+		out, err := applyNode(node, in)
+		if err != nil {
+			return nil, err
+		}
+		if quantized && node.Noise != nil {
+			if ov := node.Noise.Override; ov != nil {
+				// Derived source: inject additive white noise with the
+				// override moments (uniform, matching the PQN shape).
+				halfSpan := math.Sqrt(3 * ov.Variance)
+				noisy := make([]float64, len(out))
+				for i, v := range out {
+					noisy[i] = v + ov.Mean + (rng.Float64()*2-1)*halfSpan
+				}
+				out = noisy
+			} else {
+				q := fixed.NewQuantizer(node.Noise.Frac, node.Noise.Mode)
+				out = q.Quantized(out)
+			}
+		}
+		signals[id] = out
+		for _, s := range g.Succ(id) {
+			pending[s] = accumulate(pending[s], out)
+		}
+	}
+	res, ok := signals[outID]
+	if !ok {
+		return nil, fmt.Errorf("fxsim: output node produced no signal")
+	}
+	return res, nil
+}
+
+// accumulate sums src into dst elementwise, growing dst as needed. Rate
+// mismatches at adders surface as length differences; summation runs over
+// the shorter prefix with the longer tail preserved, matching streaming
+// semantics where the shorter branch has simply not produced samples yet.
+func accumulate(dst, src []float64) []float64 {
+	if len(src) > len(dst) {
+		grown := make([]float64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// applyNode processes one node's batch input.
+func applyNode(node *sfg.Node, in []float64) ([]float64, error) {
+	switch node.Kind {
+	case sfg.KindInput, sfg.KindAdder, sfg.KindOutput:
+		return in, nil
+	case sfg.KindFilter:
+		return filter.NewState(node.Filt).Process(in), nil
+	case sfg.KindGain:
+		return dsp.Scale(in, node.Gain), nil
+	case sfg.KindDelay:
+		out := make([]float64, len(in))
+		copy(out[min(node.Delay, len(in)):], in[:max(0, len(in)-node.Delay)])
+		return out, nil
+	case sfg.KindDown:
+		return dsp.Downsample(in, node.Factor), nil
+	case sfg.KindUp:
+		return dsp.Upsample(in, node.Factor), nil
+	case sfg.KindCustom:
+		if node.ProcFn == nil {
+			return nil, fmt.Errorf("fxsim: custom node %q has no time-domain processor", node.Name)
+		}
+		return node.ProcFn(in), nil
+	default:
+		return nil, fmt.Errorf("fxsim: cannot simulate node %q of kind %v", node.Name, node.Kind)
+	}
+}
+
+// Generate produces n samples of the requested stimulus.
+func Generate(kind InputKind, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	switch kind {
+	case UniformWhite:
+		for i := range out {
+			out[i] = rng.Float64()*2 - 1
+		}
+	case GaussianWhite:
+		for i := range out {
+			v := rng.NormFloat64() * math.Sqrt(0.1)
+			out[i] = math.Max(-1, math.Min(1, v))
+		}
+	case Pink:
+		// Paul Kellet's economy pink-noise filter bank.
+		var b0, b1, b2 float64
+		for i := range out {
+			w := rng.NormFloat64()
+			b0 = 0.99765*b0 + w*0.0990460
+			b1 = 0.96300*b1 + w*0.2965164
+			b2 = 0.57000*b2 + w*1.0526913
+			out[i] = (b0 + b1 + b2 + w*0.1848) * 0.1
+		}
+		normalizePeak(out)
+	case Multitone:
+		freqs := []float64{0.01237, 0.0531, 0.1117, 0.2011, 0.3373}
+		phases := make([]float64, len(freqs))
+		for i := range phases {
+			phases[i] = rng.Float64() * 2 * math.Pi
+		}
+		for i := range out {
+			var s float64
+			for j, f := range freqs {
+				s += math.Sin(2*math.Pi*f*float64(i) + phases[j])
+			}
+			out[i] = s / float64(len(freqs))
+		}
+	default:
+		panic(fmt.Sprintf("fxsim: unknown input kind %v", kind))
+	}
+	return out
+}
+
+func normalizePeak(x []float64) {
+	var peak float64
+	for _, v := range x {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		return
+	}
+	inv := 0.99 / peak
+	for i := range x {
+		x[i] *= inv
+	}
+}

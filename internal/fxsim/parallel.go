@@ -1,0 +1,81 @@
+package fxsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sfg"
+	"repro/internal/stats"
+)
+
+// RunParallel splits a Monte-Carlo run across independent seeded shards and
+// merges their statistics with the parallel Welford combination. Shards use
+// seeds Seed, Seed+1, ..., so the result is deterministic for a given
+// (Seed, shards) pair but differs from a single Run of the same total
+// length. Error-PSD estimation and KeepError are not supported here — use
+// Run for those.
+func RunParallel(g *sfg.Graph, cfg Config, shards int) (*Outcome, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("fxsim: shard count %d < 1", shards)
+	}
+	if cfg.PSDBins >= 2 || cfg.KeepError {
+		return nil, fmt.Errorf("fxsim: RunParallel does not support PSD estimation or error retention")
+	}
+	if len(cfg.InputSignals) > 0 {
+		return nil, fmt.Errorf("fxsim: RunParallel requires generated stimuli")
+	}
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("fxsim: non-positive sample count %d", cfg.Samples)
+	}
+	if shards == 1 {
+		return Run(g, cfg)
+	}
+	per := cfg.Samples / shards
+	if per < 1 {
+		return nil, fmt.Errorf("fxsim: %d samples across %d shards leaves empty shards", cfg.Samples, shards)
+	}
+	type shardResult struct {
+		errAcc stats.Running
+		refAcc stats.Running
+		err    error
+	}
+	results := make([]shardResult, shards)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := cfg
+			sub.Samples = per
+			sub.Seed = cfg.Seed + int64(i)
+			o, err := Run(g, sub)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].errAcc = stats.NewRunningFromMoments(int64(o.Samples), o.Mean, o.Variance)
+			// RefPower only needs E[x^2]; reconstruct with zero mean.
+			results[i].refAcc = stats.NewRunningFromMoments(int64(o.Samples), 0, o.RefPower)
+		}(i)
+	}
+	wg.Wait()
+	var errAcc, refAcc stats.Running
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		errAcc.Merge(results[i].errAcc)
+		refAcc.Merge(results[i].refAcc)
+	}
+	return &Outcome{
+		Power:    errAcc.MeanSquare(),
+		Mean:     errAcc.Mean(),
+		Variance: errAcc.Variance(),
+		RefPower: refAcc.MeanSquare(),
+		Samples:  int(errAcc.N()),
+	}, nil
+}

@@ -1,0 +1,404 @@
+package fxsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/filter"
+	"repro/internal/fixed"
+	"repro/internal/psd"
+	"repro/internal/sfg"
+	"repro/internal/stats"
+)
+
+// Stimulus produces a stimulus incrementally with persistent state, so
+// chunked generation concatenates to exactly the signal a single batch call
+// would produce. Required by the streaming engine; also usable standalone.
+type Stimulus struct {
+	kind InputKind
+	rng  *rand.Rand
+	// Pink filter-bank state.
+	b0, b1, b2 float64
+	// Multitone phase bookkeeping.
+	idx    int
+	phases []float64
+	// Pink normalization is fixed (batch Generate normalizes per call,
+	// which streaming cannot reproduce; the streaming generator uses a
+	// fixed conservative scale instead).
+	pinkScale float64
+}
+
+// NewStimulus builds a generator for the kind, seeded deterministically.
+func NewStimulus(kind InputKind, seed int64) *Stimulus {
+	s := &Stimulus{kind: kind, rng: rand.New(rand.NewSource(seed)), pinkScale: 0.25}
+	if kind == Multitone {
+		s.phases = make([]float64, len(multitoneFreqs))
+		for i := range s.phases {
+			s.phases[i] = s.rng.Float64() * 2 * math.Pi
+		}
+	}
+	return s
+}
+
+var multitoneFreqs = []float64{0.01237, 0.0531, 0.1117, 0.2011, 0.3373}
+
+// Next produces the next n samples.
+func (s *Stimulus) Next(n int) []float64 {
+	out := make([]float64, n)
+	switch s.kind {
+	case UniformWhite:
+		for i := range out {
+			out[i] = s.rng.Float64()*2 - 1
+		}
+	case GaussianWhite:
+		for i := range out {
+			v := s.rng.NormFloat64() * math.Sqrt(0.1)
+			out[i] = math.Max(-1, math.Min(1, v))
+		}
+	case Pink:
+		for i := range out {
+			w := s.rng.NormFloat64()
+			s.b0 = 0.99765*s.b0 + w*0.0990460
+			s.b1 = 0.96300*s.b1 + w*0.2965164
+			s.b2 = 0.57000*s.b2 + w*1.0526913
+			v := (s.b0 + s.b1 + s.b2 + w*0.1848) * 0.1 * s.pinkScale / 0.1
+			out[i] = math.Max(-1, math.Min(1, v))
+		}
+	case Multitone:
+		for i := range out {
+			var v float64
+			for j, f := range multitoneFreqs {
+				v += math.Sin(2*math.Pi*f*float64(s.idx) + s.phases[j])
+			}
+			out[i] = v / float64(len(multitoneFreqs))
+			s.idx++
+		}
+	default:
+		panic(fmt.Sprintf("fxsim: unknown input kind %v", s.kind))
+	}
+	return out
+}
+
+// nodeRunner processes chunks through one node with persistent state.
+type nodeRunner interface {
+	process(in []float64) []float64
+}
+
+type passRunner struct{}
+
+func (passRunner) process(in []float64) []float64 { return in }
+
+type gainRunner struct{ g float64 }
+
+func (r gainRunner) process(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = v * r.g
+	}
+	return out
+}
+
+type filterRunner struct{ st *filter.State }
+
+func (r filterRunner) process(in []float64) []float64 { return r.st.Process(in) }
+
+type delayRunner struct{ buf []float64 }
+
+func (r *delayRunner) process(in []float64) []float64 {
+	combined := append(r.buf, in...)
+	emit := len(in)
+	out := make([]float64, emit)
+	copy(out, combined[:emit])
+	r.buf = combined[emit:]
+	return out
+}
+
+type downRunner struct {
+	factor int
+	phase  int // samples until the next kept sample
+}
+
+func (r *downRunner) process(in []float64) []float64 {
+	var out []float64
+	for _, v := range in {
+		if r.phase == 0 {
+			out = append(out, v)
+			r.phase = r.factor
+		}
+		r.phase--
+	}
+	return out
+}
+
+type upRunner struct{ factor int }
+
+func (r upRunner) process(in []float64) []float64 {
+	out := make([]float64, len(in)*r.factor)
+	for i, v := range in {
+		out[i*r.factor] = v
+	}
+	return out
+}
+
+type customRunner struct{ fn func([]float64) []float64 }
+
+func (r customRunner) process(in []float64) []float64 { return r.fn(in) }
+
+// quantRunner applies the node's noise injection after the wrapped runner.
+type quantRunner struct {
+	inner nodeRunner
+	q     *fixed.Quantizer
+	over  *overrideNoise
+}
+
+type overrideNoise struct {
+	mean, halfSpan float64
+	rng            *rand.Rand
+}
+
+func (r quantRunner) process(in []float64) []float64 {
+	out := r.inner.process(in)
+	switch {
+	case r.over != nil:
+		noisy := make([]float64, len(out))
+		for i, v := range out {
+			noisy[i] = v + r.over.mean + (r.over.rng.Float64()*2-1)*r.over.halfSpan
+		}
+		return noisy
+	case r.q != nil:
+		return r.q.Quantized(out)
+	default:
+		return out
+	}
+}
+
+// engine is one streaming execution (reference or fixed-point) of a graph.
+type engine struct {
+	g       *sfg.Graph
+	order   []sfg.NodeID
+	outID   sfg.NodeID
+	runners map[sfg.NodeID]nodeRunner
+	// queues[to][from] buffers samples on each edge; adders emit the
+	// aligned prefix across their inputs.
+	queues map[sfg.NodeID]map[sfg.NodeID][]float64
+}
+
+func newEngine(g *sfg.Graph, order []sfg.NodeID, outID sfg.NodeID, quantized bool, rng *rand.Rand) (*engine, error) {
+	e := &engine{
+		g: g, order: order, outID: outID,
+		runners: make(map[sfg.NodeID]nodeRunner),
+		queues:  make(map[sfg.NodeID]map[sfg.NodeID][]float64),
+	}
+	for _, id := range order {
+		n := g.Node(id)
+		var r nodeRunner
+		switch n.Kind {
+		case sfg.KindInput, sfg.KindAdder, sfg.KindOutput:
+			r = passRunner{}
+		case sfg.KindGain:
+			r = gainRunner{g: n.Gain}
+		case sfg.KindFilter:
+			r = filterRunner{st: filter.NewState(n.Filt)}
+		case sfg.KindDelay:
+			r = &delayRunner{buf: make([]float64, n.Delay)}
+		case sfg.KindDown:
+			r = &downRunner{factor: n.Factor}
+		case sfg.KindUp:
+			r = upRunner{factor: n.Factor}
+		case sfg.KindCustom:
+			if n.ProcFn == nil {
+				return nil, fmt.Errorf("fxsim: custom node %q has no time-domain processor", n.Name)
+			}
+			r = customRunner{fn: n.ProcFn}
+		default:
+			return nil, fmt.Errorf("fxsim: cannot stream node %q of kind %v", n.Name, n.Kind)
+		}
+		if quantized && n.Noise != nil {
+			qr := quantRunner{inner: r}
+			if ov := n.Noise.Override; ov != nil {
+				qr.over = &overrideNoise{
+					mean:     ov.Mean,
+					halfSpan: math.Sqrt(3 * ov.Variance),
+					rng:      rng,
+				}
+			} else {
+				qr.q = fixed.NewQuantizer(n.Noise.Frac, n.Noise.Mode)
+			}
+			r = qr
+		}
+		e.runners[id] = r
+	}
+	return e, nil
+}
+
+// push advances the engine by one chunk of input (per input node) and
+// returns the output samples produced.
+func (e *engine) push(inputs map[sfg.NodeID][]float64) []float64 {
+	var produced []float64
+	for _, id := range e.order {
+		n := e.g.Node(id)
+		var in []float64
+		if n.Kind == sfg.KindInput {
+			in = inputs[id]
+		} else {
+			in = e.drain(id)
+		}
+		out := e.runners[id].process(in)
+		if id == e.outID {
+			produced = out
+			continue
+		}
+		for _, s := range e.g.Succ(id) {
+			q := e.queues[s]
+			if q == nil {
+				q = make(map[sfg.NodeID][]float64)
+				e.queues[s] = q
+			}
+			q[id] = append(q[id], out...)
+		}
+	}
+	return produced
+}
+
+// drain removes the aligned available samples for a node: single-input
+// nodes take everything queued; adders take the common prefix across all
+// inputs and sum it.
+func (e *engine) drain(id sfg.NodeID) []float64 {
+	q := e.queues[id]
+	if len(q) == 0 {
+		return nil
+	}
+	preds := e.g.Pred(id)
+	if len(preds) == 1 {
+		out := q[preds[0]]
+		q[preds[0]] = nil
+		return out
+	}
+	avail := -1
+	for _, p := range preds {
+		if avail < 0 || len(q[p]) < avail {
+			avail = len(q[p])
+		}
+	}
+	if avail <= 0 {
+		return nil
+	}
+	out := make([]float64, avail)
+	for _, p := range preds {
+		buf := q[p]
+		for i := 0; i < avail; i++ {
+			out[i] += buf[i]
+		}
+		q[p] = buf[avail:]
+	}
+	return out
+}
+
+// RunStreaming is Run with constant memory: the stimulus is generated and
+// pushed through reference and fixed-point engines chunk by chunk, so
+// paper-scale runs (1e7+ samples) need only chunkSize floats of state. For
+// chunk-aligned graphs the measured statistics are sample-identical to Run
+// (custom nodes must be stream-safe, i.e. stateful like dsp.OverlapSave or
+// pure per-sample maps).
+func RunStreaming(g *sfg.Graph, cfg Config, chunkSize int) (*Outcome, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("fxsim: %w", err)
+	}
+	outID, err := g.OutputNode()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("fxsim: non-positive sample count %d", cfg.Samples)
+	}
+	if chunkSize < 1 {
+		return nil, fmt.Errorf("fxsim: chunk size %d < 1", chunkSize)
+	}
+	if len(cfg.InputSignals) > 0 {
+		return nil, fmt.Errorf("fxsim: RunStreaming requires generated stimuli")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stims := make(map[sfg.NodeID]*Stimulus)
+	for _, id := range g.Inputs() {
+		stims[id] = NewStimulus(cfg.Input, cfg.Seed+int64(id))
+	}
+	ref, err := newEngine(g, order, outID, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	fx, err := newEngine(g, order, outID, true, rng)
+	if err != nil {
+		return nil, err
+	}
+	var errAcc, refAcc stats.Running
+	var psdAcc *psd.PSD
+	var psdBuf []float64
+	remaining := cfg.Samples
+	var fxPend, refPend []float64
+	for remaining > 0 {
+		n := chunkSize
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		chunk := make(map[sfg.NodeID][]float64, len(stims))
+		for id, st := range stims {
+			chunk[id] = st.Next(n)
+		}
+		refChunk := make(map[sfg.NodeID][]float64, len(chunk))
+		for id, x := range chunk {
+			refChunk[id] = append([]float64(nil), x...)
+		}
+		refPend = append(refPend, ref.push(refChunk)...)
+		fxPend = append(fxPend, fx.push(chunk)...)
+		m := len(refPend)
+		if len(fxPend) < m {
+			m = len(fxPend)
+		}
+		for i := 0; i < m; i++ {
+			e := fxPend[i] - refPend[i]
+			errAcc.Add(e)
+			refAcc.Add(refPend[i])
+			if cfg.PSDBins >= 2 {
+				psdBuf = append(psdBuf, e)
+				if len(psdBuf) == cfg.PSDBins {
+					p := psd.Periodogram(psdBuf)
+					if psdAcc == nil {
+						psdAcc = &p
+					} else {
+						for k := range psdAcc.Bins {
+							psdAcc.Bins[k] += p.Bins[k]
+						}
+						psdAcc.Mean += p.Mean
+					}
+					psdBuf = psdBuf[:0]
+				}
+			}
+		}
+		refPend = refPend[m:]
+		fxPend = fxPend[m:]
+	}
+	out := &Outcome{
+		Power:    errAcc.MeanSquare(),
+		Mean:     errAcc.Mean(),
+		Variance: errAcc.Variance(),
+		RefPower: refAcc.MeanSquare(),
+		Samples:  int(errAcc.N()),
+	}
+	if psdAcc != nil {
+		segs := float64(int(errAcc.N()) / cfg.PSDBins)
+		if segs > 0 {
+			for k := range psdAcc.Bins {
+				psdAcc.Bins[k] /= segs
+			}
+			psdAcc.Mean /= segs
+		}
+		out.ErrPSD = *psdAcc
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package psd
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderASCII writes a logarithmic bar chart of the spectrum's first half
+// (F in [0, 0.5), the informative half for real signals) with the given
+// number of rows and a dynamic range of floorDB below the peak. Handy in
+// examples and debugging sessions; not a plotting library.
+func (p PSD) RenderASCII(w io.Writer, rows int, floorDB float64) {
+	if rows < 1 {
+		rows = 16
+	}
+	if floorDB <= 0 {
+		floorDB = 60
+	}
+	half := len(p.Bins) / 2
+	if half == 0 {
+		fmt.Fprintln(w, "(empty spectrum)")
+		return
+	}
+	peak := 0.0
+	for _, v := range p.Bins[:half] {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak <= 0 {
+		fmt.Fprintln(w, "(all-zero spectrum)")
+		return
+	}
+	// Aggregate bins into at most `rows` bars.
+	per := (half + rows - 1) / rows
+	fmt.Fprintf(w, "PSD (peak %.3g, floor -%g dB, mean %.3g)\n", peak, floorDB, p.Mean)
+	const width = 50
+	for start := 0; start < half; start += per {
+		end := start + per
+		if end > half {
+			end = half
+		}
+		var m float64
+		for _, v := range p.Bins[start:end] {
+			if v > m {
+				m = v
+			}
+		}
+		db := -math.Inf(1)
+		if m > 0 {
+			db = 10 * math.Log10(m/peak)
+		}
+		frac := 1 + db/floorDB
+		if frac < 0 {
+			frac = 0
+		}
+		bar := int(frac*width + 0.5)
+		fmt.Fprintf(w, "F=%5.3f %7.1fdB |%s\n",
+			float64(start)/float64(len(p.Bins)), db, strings.Repeat("#", bar))
+	}
+}

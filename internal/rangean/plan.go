@@ -1,0 +1,79 @@
+package rangean
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sfg"
+)
+
+// WordLength is a complete fixed-point format plan for one signal: integer
+// bits cover the dynamic range (no overflow), fractional bits meet the
+// precision target.
+type WordLength struct {
+	Int  int
+	Frac int
+}
+
+// Total returns the full word width.
+func (w WordLength) Total() int { return w.Int + w.Frac }
+
+// String renders as Q(int.frac).
+func (w WordLength) String() string { return fmt.Sprintf("Q(%d.%d)", w.Int, w.Frac) }
+
+// PlanOptions parameterizes word-length planning.
+type PlanOptions struct {
+	// InputRanges gives the guaranteed range of every input node.
+	InputRanges map[sfg.NodeID]Interval
+	// TargetSQNRdB is the output signal-to-quantization-noise target used
+	// to size every signal's fractional part with the standard 6.02 dB/bit
+	// rule against the signal's own range.
+	TargetSQNRdB float64
+	// UseAffine selects affine (tighter on parallel-gain graphs) over
+	// interval propagation.
+	UseAffine bool
+}
+
+// Plan assigns a WordLength to every node of the graph: integer bits from
+// range propagation, fractional bits from the SQNR target via
+//
+//	frac >= (SQNR_dB - 10 log10(range^2/12 gap...)) / 6.02
+//
+// concretely: quantizing a signal of amplitude A to f fractional bits gives
+// SQNR ~ 10 log10( (A^2/3) / (2^-2f/12) ), solved for f per node. This is
+// the integer-bit determination step the paper's introduction delegates to
+// range analysis, packaged for the same SFGs the accuracy evaluators use.
+func Plan(g *sfg.Graph, opt PlanOptions) (map[sfg.NodeID]WordLength, error) {
+	if opt.TargetSQNRdB <= 0 {
+		return nil, fmt.Errorf("rangean: non-positive SQNR target %g", opt.TargetSQNRdB)
+	}
+	var ranges map[sfg.NodeID]Interval
+	var err error
+	if opt.UseAffine {
+		ranges, err = AffineRanges(g, opt.InputRanges)
+	} else {
+		ranges, err = IntervalRanges(g, opt.InputRanges)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[sfg.NodeID]WordLength, len(ranges))
+	for id, iv := range ranges {
+		wl := WordLength{Int: IntegerBits(iv)}
+		a := iv.AbsMax()
+		if a == 0 {
+			wl.Frac = 1
+			out[id] = wl
+			continue
+		}
+		// SQNR(f) = 10 log10( (a^2/3) / (2^-2f / 12) )
+		//         = 10 log10(4 a^2) + 20 f log10(2).
+		f := (opt.TargetSQNRdB - 10*math.Log10(4*a*a)) / (20 * math.Log10(2))
+		wl.Frac = int(math.Ceil(f))
+		if wl.Frac < 1 {
+			wl.Frac = 1
+		}
+		out[id] = wl
+	}
+	return out, nil
+}

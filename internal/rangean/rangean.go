@@ -1,0 +1,276 @@
+// Package rangean implements the dynamic-range (integer word-length)
+// analysis substrate referenced in the paper's introduction: interval
+// arithmetic and a restricted affine arithmetic propagated over the same
+// signal-flow graphs the accuracy evaluators use. Where the accuracy
+// analysis chooses fractional bits, range analysis chooses integer bits so
+// that overflow cannot occur.
+package rangean
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sfg"
+)
+
+// Interval is a closed real interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// NewInterval orders its arguments.
+func NewInterval(a, b float64) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Lo: a, Hi: b}
+}
+
+// Add returns i + o.
+func (i Interval) Add(o Interval) Interval {
+	return Interval{Lo: i.Lo + o.Lo, Hi: i.Hi + o.Hi}
+}
+
+// Sub returns i - o.
+func (i Interval) Sub(o Interval) Interval {
+	return Interval{Lo: i.Lo - o.Hi, Hi: i.Hi - o.Lo}
+}
+
+// Scale returns g * i.
+func (i Interval) Scale(g float64) Interval {
+	return NewInterval(g*i.Lo, g*i.Hi)
+}
+
+// Mul returns the product interval.
+func (i Interval) Mul(o Interval) Interval {
+	cands := []float64{i.Lo * o.Lo, i.Lo * o.Hi, i.Hi * o.Lo, i.Hi * o.Hi}
+	sort.Float64s(cands)
+	return Interval{Lo: cands[0], Hi: cands[3]}
+}
+
+// Union returns the smallest interval containing both.
+func (i Interval) Union(o Interval) Interval {
+	return Interval{Lo: math.Min(i.Lo, o.Lo), Hi: math.Max(i.Hi, o.Hi)}
+}
+
+// AbsMax returns max(|Lo|, |Hi|).
+func (i Interval) AbsMax() float64 {
+	return math.Max(math.Abs(i.Lo), math.Abs(i.Hi))
+}
+
+// Width returns Hi - Lo.
+func (i Interval) Width() float64 { return i.Hi - i.Lo }
+
+// Contains reports whether x lies in the interval.
+func (i Interval) Contains(x float64) bool { return x >= i.Lo && x <= i.Hi }
+
+// String renders the interval.
+func (i Interval) String() string { return fmt.Sprintf("[%g, %g]", i.Lo, i.Hi) }
+
+// IntegerBits returns the number of integer bits (including sign) required
+// to represent every value of the interval in two's complement.
+func IntegerBits(i Interval) int {
+	m := i.AbsMax()
+	if m == 0 {
+		return 1
+	}
+	// Need 2^(b-1) > m for positives (and >= |min| for negatives; the +1
+	// ulp slack of using > keeps the bound safe for both).
+	b := int(math.Floor(math.Log2(m))) + 2
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// IntervalRanges propagates input intervals through the graph, returning
+// the guaranteed output range of every node. Filter nodes use the exact
+// worst case for FIR (sum of per-tap extremes) and an L1-norm bound on the
+// truncated impulse response for IIR.
+func IntervalRanges(g *sfg.Graph, inputs map[sfg.NodeID]Interval) (map[sfg.NodeID]Interval, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("rangean: %w", err)
+	}
+	out := make(map[sfg.NodeID]Interval, len(order))
+	pend := make(map[sfg.NodeID]Interval)
+	seen := make(map[sfg.NodeID]bool)
+	for _, id := range order {
+		n := g.Node(id)
+		var in Interval
+		if n.Kind == sfg.KindInput {
+			iv, ok := inputs[id]
+			if !ok {
+				return nil, fmt.Errorf("rangean: no range for input %q", n.Name)
+			}
+			in = iv
+		} else {
+			in = pend[id]
+		}
+		var o Interval
+		switch n.Kind {
+		case sfg.KindInput, sfg.KindOutput, sfg.KindAdder, sfg.KindDown:
+			o = in
+		case sfg.KindUp:
+			// Zero-stuffed outputs include 0.
+			o = in.Union(Interval{})
+		case sfg.KindGain:
+			o = in.Scale(n.Gain)
+		case sfg.KindDelay:
+			o = in
+		case sfg.KindFilter:
+			o = filterRange(n, in)
+		default:
+			return nil, fmt.Errorf("rangean: cannot bound %v node %q", n.Kind, n.Name)
+		}
+		out[id] = o
+		for _, s := range g.Succ(id) {
+			if seen[s] {
+				pend[s] = pend[s].Add(o)
+			} else {
+				pend[s] = o
+				seen[s] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// filterRange bounds an LTI block's output: for each tap, the contribution
+// extreme is h*Lo or h*Hi; summing per-tap extremes is the exact worst case
+// when successive samples are independent.
+func filterRange(n *sfg.Node, in Interval) Interval {
+	var h []float64
+	if n.Filt.IsFIR() {
+		h = n.Filt.B
+	} else {
+		h = n.Filt.ImpulseResponse(1 << 14)
+	}
+	var lo, hi float64
+	for _, c := range h {
+		a := c * in.Lo
+		b := c * in.Hi
+		if a > b {
+			a, b = b, a
+		}
+		lo += a
+		hi += b
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// AffineForm is a restricted affine-arithmetic value: a center plus named
+// deviation terms (each spanning [-1, 1]). Gains, adders and subtractions
+// keep term identities, so parallel paths from the same origin cancel where
+// interval arithmetic cannot; memory-bearing blocks (filters, delays,
+// resamplers) introduce fresh terms, which keeps the analysis sound for
+// time-varying signals.
+type AffineForm struct {
+	Center float64
+	Terms  map[string]float64
+}
+
+// NewAffine builds a form spanning the interval with one named term.
+func NewAffine(iv Interval, name string) AffineForm {
+	return AffineForm{
+		Center: (iv.Hi + iv.Lo) / 2,
+		Terms:  map[string]float64{name: (iv.Hi - iv.Lo) / 2},
+	}
+}
+
+// Interval returns the enclosing interval.
+func (a AffineForm) Interval() Interval {
+	var spread float64
+	for _, c := range a.Terms {
+		spread += math.Abs(c)
+	}
+	return Interval{Lo: a.Center - spread, Hi: a.Center + spread}
+}
+
+// Add returns a + o, combining shared terms.
+func (a AffineForm) Add(o AffineForm) AffineForm {
+	out := AffineForm{Center: a.Center + o.Center, Terms: map[string]float64{}}
+	for k, v := range a.Terms {
+		out.Terms[k] += v
+	}
+	for k, v := range o.Terms {
+		out.Terms[k] += v
+	}
+	return out
+}
+
+// Scale returns g * a.
+func (a AffineForm) Scale(g float64) AffineForm {
+	out := AffineForm{Center: g * a.Center, Terms: make(map[string]float64, len(a.Terms))}
+	for k, v := range a.Terms {
+		out.Terms[k] = g * v
+	}
+	return out
+}
+
+// fresh replaces the form with a single new term spanning its interval.
+func (a AffineForm) fresh(name string) AffineForm {
+	return NewAffine(a.Interval(), name)
+}
+
+// AffineRanges propagates affine forms through the graph. On graphs with
+// parallel gain/adder paths it is strictly tighter than IntervalRanges; on
+// chains of memory-bearing blocks the two coincide.
+func AffineRanges(g *sfg.Graph, inputs map[sfg.NodeID]Interval) (map[sfg.NodeID]Interval, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("rangean: %w", err)
+	}
+	forms := make(map[sfg.NodeID]AffineForm)
+	seen := make(map[sfg.NodeID]bool)
+	out := make(map[sfg.NodeID]Interval, len(order))
+	for _, id := range order {
+		n := g.Node(id)
+		var in AffineForm
+		if n.Kind == sfg.KindInput {
+			iv, ok := inputs[id]
+			if !ok {
+				return nil, fmt.Errorf("rangean: no range for input %q", n.Name)
+			}
+			in = NewAffine(iv, fmt.Sprintf("in.%s", n.Name))
+		} else {
+			in = forms[id]
+		}
+		var o AffineForm
+		switch n.Kind {
+		case sfg.KindInput, sfg.KindOutput, sfg.KindAdder, sfg.KindDown:
+			o = in
+		case sfg.KindUp:
+			iv := in.Interval().Union(Interval{})
+			o = NewAffine(iv, fmt.Sprintf("up.%s", n.Name))
+		case sfg.KindGain:
+			o = in.Scale(n.Gain)
+		case sfg.KindDelay:
+			// A delayed signal is a different sample: fresh term, same
+			// magnitude (sound; loses nothing unless paths re-align).
+			o = in.fresh(fmt.Sprintf("z.%s", n.Name))
+		case sfg.KindFilter:
+			iv := filterRange(n, in.Interval())
+			o = NewAffine(iv, fmt.Sprintf("f.%s", n.Name))
+		default:
+			return nil, fmt.Errorf("rangean: cannot bound %v node %q", n.Kind, n.Name)
+		}
+		out[id] = o.Interval()
+		for _, s := range g.Succ(id) {
+			if seen[s] {
+				forms[s] = forms[s].Add(o)
+			} else {
+				forms[s] = o
+				seen[s] = true
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,324 @@
+package rangean
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/filter"
+	"repro/internal/sfg"
+)
+
+func TestIntervalOps(t *testing.T) {
+	a := NewInterval(-1, 2)
+	b := NewInterval(3, 5)
+	if got := a.Add(b); got != (Interval{2, 7}) {
+		t.Fatalf("add %v", got)
+	}
+	if got := a.Sub(b); got != (Interval{-6, -1}) {
+		t.Fatalf("sub %v", got)
+	}
+	if got := a.Scale(-2); got != (Interval{-4, 2}) {
+		t.Fatalf("scale %v", got)
+	}
+	if got := a.Mul(b); got != (Interval{-5, 10}) {
+		t.Fatalf("mul %v", got)
+	}
+	if got := a.Union(b); got != (Interval{-1, 5}) {
+		t.Fatalf("union %v", got)
+	}
+	if a.AbsMax() != 2 || a.Width() != 3 {
+		t.Fatal("absmax/width")
+	}
+	if !a.Contains(0) || a.Contains(3) {
+		t.Fatal("contains")
+	}
+}
+
+func TestIntervalMulSoundProperty(t *testing.T) {
+	fn := func(a1, a2, b1, b2, x, y float64) bool {
+		a1, a2, b1, b2 = math.Mod(a1, 10), math.Mod(a2, 10), math.Mod(b1, 10), math.Mod(b2, 10)
+		if anyNaN(a1, a2, b1, b2, x, y) {
+			return true
+		}
+		ia := NewInterval(a1, a2)
+		ib := NewInterval(b1, b2)
+		// Pick points inside each interval.
+		px := ia.Lo + math.Abs(math.Mod(x, 1))*ia.Width()
+		py := ib.Lo + math.Abs(math.Mod(y, 1))*ib.Width()
+		return ia.Mul(ib).Contains(px * py)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyNaN(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIntegerBits(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int
+	}{
+		{Interval{0, 0}, 1},
+		{Interval{-1, 1}, 2},
+		{Interval{-0.5, 0.5}, 1},
+		{Interval{-4, 3}, 4},
+		{Interval{0, 100}, 8},
+	}
+	for _, c := range cases {
+		if got := IntegerBits(c.iv); got != c.want {
+			t.Errorf("IntegerBits(%v) = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func buildChain(taps []float64) (*sfg.Graph, sfg.NodeID, sfg.NodeID) {
+	g := sfg.New()
+	in := g.Input("in")
+	f := g.Filter("f", filter.NewFIR(taps, ""))
+	out := g.Output("out")
+	g.Chain(in, f, out)
+	return g, in, out
+}
+
+func TestIntervalRangesFIRWorstCase(t *testing.T) {
+	g, in, out := buildChain([]float64{0.5, -0.25, 0.125})
+	rngs, err := IntervalRanges(g, map[sfg.NodeID]Interval{in: NewInterval(-1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: sum |h| = 0.875.
+	want := 0.875
+	o := rngs[out]
+	if math.Abs(o.Hi-want) > 1e-12 || math.Abs(o.Lo+want) > 1e-12 {
+		t.Fatalf("output range %v, want +-%g", o, want)
+	}
+}
+
+func TestIntervalRangeIsSoundBySimulation(t *testing.T) {
+	// Random signals through the graph must stay inside the predicted
+	// interval.
+	taps := []float64{0.4, -0.3, 0.2, 0.6}
+	g, in, out := buildChain(taps)
+	rngs, err := IntervalRanges(g, map[sfg.NodeID]Interval{in: NewInterval(-1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rngs[out]
+	rng := rand.New(rand.NewSource(1))
+	st := filter.NewState(filter.NewFIR(taps, ""))
+	for i := 0; i < 20000; i++ {
+		y := st.Step(rng.Float64()*2 - 1)
+		if !o.Contains(y) {
+			t.Fatalf("sample %g escapes %v", y, o)
+		}
+	}
+}
+
+func TestIntervalRangesAdder(t *testing.T) {
+	g := sfg.New()
+	in := g.Input("in")
+	g1 := g.Gain("g1", 2)
+	g2 := g.Gain("g2", -1)
+	a := g.Adder("a")
+	out := g.Output("out")
+	g.Connect(in, g1)
+	g.Connect(in, g2)
+	g.Connect(g1, a)
+	g.Connect(g2, a)
+	g.Connect(a, out)
+	iv := map[sfg.NodeID]Interval{in: NewInterval(-1, 1)}
+	rngs, err := IntervalRanges(g, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval: |2| + |-1| = 3.
+	if rngs[out] != (Interval{-3, 3}) {
+		t.Fatalf("interval adder range %v", rngs[out])
+	}
+	// Affine: |2 - 1| = 1 (correlation preserved).
+	aff, err := AffineRanges(g, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aff[out] != (Interval{-1, 1}) {
+		t.Fatalf("affine adder range %v, want [-1, 1]", aff[out])
+	}
+}
+
+func TestAffineMatchesIntervalOnChains(t *testing.T) {
+	g, in, out := buildChain([]float64{0.5, 0.5})
+	iv := map[sfg.NodeID]Interval{in: NewInterval(-1, 1)}
+	a, err := AffineRanges(g, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IntervalRanges(g, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a[out].Lo-b[out].Lo) > 1e-12 || math.Abs(a[out].Hi-b[out].Hi) > 1e-12 {
+		t.Fatalf("chain: affine %v vs interval %v", a[out], b[out])
+	}
+}
+
+func TestRangesErrors(t *testing.T) {
+	g, _, _ := buildChain([]float64{1})
+	if _, err := IntervalRanges(g, nil); err == nil {
+		t.Fatal("missing input range should fail")
+	}
+	if _, err := AffineRanges(g, nil); err == nil {
+		t.Fatal("missing input range should fail")
+	}
+}
+
+func TestUpsamplerIncludesZero(t *testing.T) {
+	g := sfg.New()
+	in := g.Input("in")
+	up := g.Up("u", 2)
+	out := g.Output("out")
+	g.Chain(in, up, out)
+	rngs, err := IntervalRanges(g, map[sfg.NodeID]Interval{in: NewInterval(0.5, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rngs[out].Contains(0) {
+		t.Fatalf("upsampled range %v must include 0", rngs[out])
+	}
+}
+
+func TestIIRRangeBound(t *testing.T) {
+	g := sfg.New()
+	in := g.Input("in")
+	f := g.Filter("iir", filter.Filter{B: []float64{1}, A: []float64{1, -0.5}})
+	out := g.Output("out")
+	g.Chain(in, f, out)
+	rngs, err := IntervalRanges(g, map[sfg.NodeID]Interval{in: NewInterval(-1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1 norm of 0.5^n = 2.
+	if math.Abs(rngs[out].Hi-2) > 1e-3 {
+		t.Fatalf("IIR bound %v, want about +-2", rngs[out])
+	}
+}
+
+func TestAffineFormInterval(t *testing.T) {
+	a := NewAffine(NewInterval(1, 3), "x")
+	if a.Center != 2 {
+		t.Fatalf("center %g", a.Center)
+	}
+	iv := a.Interval()
+	if iv != (Interval{1, 3}) {
+		t.Fatalf("roundtrip %v", iv)
+	}
+	sum := a.Add(a.Scale(-1))
+	if got := sum.Interval(); got.Width() > 1e-12 {
+		t.Fatalf("x - x should be exactly 0, got %v", got)
+	}
+}
+
+func TestPlanAssignsWordLengths(t *testing.T) {
+	g, in, out := buildChain([]float64{0.5, -0.25, 0.125})
+	plan, err := Plan(g, PlanOptions{
+		InputRanges:  map[sfg.NodeID]Interval{in: NewInterval(-1, 1)},
+		TargetSQNRdB: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	// Input spans [-1,1]: 2 integer bits (sign + 1); filter output spans
+	// +-0.875: its magnitude < 1 so fewer or equal integer bits.
+	if plan[in].Int != 2 {
+		t.Fatalf("input integer bits %d, want 2", plan[in].Int)
+	}
+	if plan[out].Int > plan[in].Int {
+		t.Fatalf("attenuating filter should not need more integer bits: %v vs %v", plan[out], plan[in])
+	}
+	// 60 dB needs about 10 fractional bits for unit-range signals.
+	if plan[in].Frac < 8 || plan[in].Frac > 12 {
+		t.Fatalf("input fractional bits %d, want about 10", plan[in].Frac)
+	}
+	if plan[in].Total() != plan[in].Int+plan[in].Frac {
+		t.Fatal("total")
+	}
+	if plan[in].String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestPlanSQNRMonotone(t *testing.T) {
+	g, in, out := buildChain([]float64{0.9, 0.1})
+	lo, err := Plan(g, PlanOptions{
+		InputRanges:  map[sfg.NodeID]Interval{in: NewInterval(-1, 1)},
+		TargetSQNRdB: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Plan(g, PlanOptions{
+		InputRanges:  map[sfg.NodeID]Interval{in: NewInterval(-1, 1)},
+		TargetSQNRdB: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi[out].Frac <= lo[out].Frac {
+		t.Fatalf("higher SQNR must need more fractional bits: %d vs %d", hi[out].Frac, lo[out].Frac)
+	}
+	// ~6.02 dB per bit: 40 dB difference is about 6-7 bits.
+	diff := hi[out].Frac - lo[out].Frac
+	if diff < 6 || diff > 8 {
+		t.Fatalf("bit difference %d for 40 dB, want about 7", diff)
+	}
+}
+
+func TestPlanAffineOption(t *testing.T) {
+	// Parallel cancelling gains: affine plan needs fewer integer bits at
+	// the adder output than the interval plan.
+	g := sfg.New()
+	in := g.Input("in")
+	g1 := g.Gain("g1", 4)
+	g2 := g.Gain("g2", -3.5)
+	a := g.Adder("a")
+	out := g.Output("out")
+	g.Connect(in, g1)
+	g.Connect(in, g2)
+	g.Connect(g1, a)
+	g.Connect(g2, a)
+	g.Connect(a, out)
+	ivs := map[sfg.NodeID]Interval{in: NewInterval(-1, 1)}
+	intervalPlan, err := Plan(g, PlanOptions{InputRanges: ivs, TargetSQNRdB: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affinePlan, err := Plan(g, PlanOptions{InputRanges: ivs, TargetSQNRdB: 50, UseAffine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if affinePlan[out].Int >= intervalPlan[out].Int {
+		t.Fatalf("affine should need fewer integer bits: %v vs %v", affinePlan[out], intervalPlan[out])
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	g, in, _ := buildChain([]float64{1})
+	if _, err := Plan(g, PlanOptions{InputRanges: map[sfg.NodeID]Interval{in: NewInterval(-1, 1)}}); err == nil {
+		t.Fatal("zero SQNR target should fail")
+	}
+	if _, err := Plan(g, PlanOptions{TargetSQNRdB: 60}); err == nil {
+		t.Fatal("missing input ranges should fail")
+	}
+}

@@ -1,0 +1,99 @@
+package sfg
+
+import (
+	"fmt"
+)
+
+// Clone deep-copies the graph structure. Node payloads (filters, response
+// closures, noise sources) are copied by value; noise sources are
+// re-allocated so the clone's widths can be tuned independently.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for _, n := range g.nodes {
+		cp := *n
+		if n.Noise != nil {
+			src := *n.Noise
+			cp.Noise = &src
+		}
+		out.nodes = append(out.nodes, &cp)
+	}
+	for from, ss := range g.succ {
+		out.succ[from] = append([]NodeID(nil), ss...)
+	}
+	for to, ps := range g.pred {
+		out.pred[to] = append([]NodeID(nil), ps...)
+	}
+	return out
+}
+
+// ObserveAt returns a new graph whose output observes the given node
+// instead of the original output: the node's former successors are pruned
+// along with everything that no longer feeds the new observation point.
+// This is the paper's Section IV-E use-case generalized — the error
+// spectrum can be read at any internal point of the system, not only at the
+// final output (useful when refining the word-lengths of a sub-system).
+func (g *Graph) ObserveAt(target NodeID) (*Graph, error) {
+	if int(target) < 0 || int(target) >= len(g.nodes) {
+		return nil, fmt.Errorf("sfg: unknown node id %d", target)
+	}
+	tn := g.nodes[target]
+	if tn.Kind == KindOutput {
+		return g.Clone(), nil
+	}
+	c := g.Clone()
+	out := c.Output(tn.Name + ".probe")
+	c.Connect(target, out)
+
+	// Keep only nodes with a path to the new output: reverse reachability.
+	keep := make([]bool, len(c.nodes))
+	var mark func(id NodeID)
+	mark = func(id NodeID) {
+		if keep[id] {
+			return
+		}
+		keep[id] = true
+		for _, p := range c.pred[id] {
+			mark(p)
+		}
+	}
+	mark(out)
+
+	pruned := New()
+	remap := make(map[NodeID]NodeID, len(c.nodes))
+	for _, n := range c.nodes {
+		if !keep[n.ID] {
+			continue
+		}
+		cp := *n
+		oldID := n.ID
+		cp.ID = NodeID(len(pruned.nodes))
+		pruned.nodes = append(pruned.nodes, &cp)
+		remap[oldID] = cp.ID
+	}
+	for from, ss := range c.succ {
+		nf, ok := remap[from]
+		if !ok {
+			continue
+		}
+		for _, to := range ss {
+			nt, ok := remap[to]
+			if !ok {
+				continue
+			}
+			pruned.succ[nf] = append(pruned.succ[nf], nt)
+			pruned.pred[nt] = append(pruned.pred[nt], nf)
+		}
+	}
+	// Adders left with a single input degrade to pass-throughs so the
+	// pruned graph still validates.
+	for _, n := range pruned.nodes {
+		if n.Kind == KindAdder && len(pruned.pred[n.ID]) == 1 {
+			n.Kind = KindGain
+			n.Gain = 1
+		}
+	}
+	if err := pruned.Validate(); err != nil {
+		return nil, fmt.Errorf("sfg: observation subgraph invalid: %w", err)
+	}
+	return pruned, nil
+}

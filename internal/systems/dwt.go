@@ -1,0 +1,57 @@
+package systems
+
+import (
+	"repro/internal/fxsim"
+	"repro/internal/sfg"
+	"repro/internal/wavelet"
+)
+
+// DWT is the paper's Fig. 3 system: an L-level Daubechies 9/7 wavelet coder
+// and decoder with a quantization-noise source at the output of every
+// filter block and (optionally) at the input. The experiment measures the
+// reconstruction error caused by finite precision — the noiseless system
+// reconstructs the input exactly (with a pure delay).
+type DWT struct {
+	// Levels is the decomposition depth (2 in the paper).
+	Levels int
+	// QuantizeInput adds the input quantization source.
+	QuantizeInput bool
+	// Bank is the filter bank; zero value uses CDF97().
+	Bank *wavelet.Bank
+}
+
+// NewDWT returns the paper's 2-level configuration with input quantization.
+func NewDWT() *DWT {
+	return &DWT{Levels: 2, QuantizeInput: true}
+}
+
+// Name implements System.
+func (s *DWT) Name() string { return "dwt97(fig3)" }
+
+func (s *DWT) bank() wavelet.Bank {
+	if s.Bank != nil {
+		return *s.Bank
+	}
+	return wavelet.CDF97()
+}
+
+// Graph implements System.
+func (s *DWT) Graph(d int) (*sfg.Graph, error) {
+	if err := check(d); err != nil {
+		return nil, err
+	}
+	return s.bank().BuildSFG(wavelet.SFGOptions{
+		Levels:        s.Levels,
+		Frac:          d,
+		Mode:          Mode,
+		QuantizeInput: s.QuantizeInput,
+	})
+}
+
+// Simulate implements System by executing the same graph sample-exactly.
+func (s *DWT) Simulate(d int, cfg SimConfig) (*fxsim.Outcome, error) {
+	if err := check(d); err != nil {
+		return nil, err
+	}
+	return graphSimulate(s, d, cfg)
+}

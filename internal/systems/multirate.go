@@ -1,0 +1,127 @@
+package systems
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+	"repro/internal/filter"
+	"repro/internal/fxsim"
+	"repro/internal/qnoise"
+	"repro/internal/sfg"
+)
+
+// Decimator is a classic multirate kernel beyond the paper's three
+// benchmarks: an anti-alias low-pass FIR followed by an M-fold decimator,
+// with quantization at the input and at the filter output. It exercises the
+// aliasing rule of the PSD propagation in isolation.
+type Decimator struct {
+	// Factor is the decimation ratio M.
+	Factor int
+	// Taps is the anti-alias filter length.
+	Taps int
+}
+
+// NewDecimator returns an M=4, 63-tap configuration.
+func NewDecimator() *Decimator { return &Decimator{Factor: 4, Taps: 63} }
+
+// Name implements System.
+func (s *Decimator) Name() string { return fmt.Sprintf("decimator(M=%d)", s.Factor) }
+
+func (s *Decimator) design() (filter.Filter, error) {
+	if s.Factor < 2 {
+		return filter.Filter{}, fmt.Errorf("systems: decimation factor %d < 2", s.Factor)
+	}
+	taps := s.Taps
+	if taps == 0 {
+		taps = 63
+	}
+	// Cutoff at 80 % of the new Nyquist.
+	return filter.DesignFIR(filter.FIRSpec{
+		Band: filter.Lowpass, Taps: taps, F1: 0.4 / float64(s.Factor), Window: dsp.Hamming,
+	})
+}
+
+// Graph implements System.
+func (s *Decimator) Graph(d int) (*sfg.Graph, error) {
+	if err := check(d); err != nil {
+		return nil, err
+	}
+	aa, err := s.design()
+	if err != nil {
+		return nil, err
+	}
+	g := sfg.New()
+	in := g.Input("in")
+	g.SetNoise(in, qnoise.Source{Name: "in.q", Mode: Mode, Frac: d})
+	fb := g.Filter("antialias", aa)
+	g.SetNoise(fb, qnoise.Source{Name: "aa.q", Mode: Mode, Frac: d})
+	dn := g.Down("decim", s.Factor)
+	out := g.Output("out")
+	g.Chain(in, fb, dn, out)
+	return g, nil
+}
+
+// Simulate implements System.
+func (s *Decimator) Simulate(d int, cfg SimConfig) (*fxsim.Outcome, error) {
+	if err := check(d); err != nil {
+		return nil, err
+	}
+	return graphSimulate(s, d, cfg)
+}
+
+// Interpolator is the dual kernel: an L-fold expander followed by an
+// image-reject low-pass FIR, exercising the imaging rule.
+type Interpolator struct {
+	// Factor is the expansion ratio L.
+	Factor int
+	// Taps is the image-reject filter length.
+	Taps int
+}
+
+// NewInterpolator returns an L=4, 63-tap configuration.
+func NewInterpolator() *Interpolator { return &Interpolator{Factor: 4, Taps: 63} }
+
+// Name implements System.
+func (s *Interpolator) Name() string { return fmt.Sprintf("interpolator(L=%d)", s.Factor) }
+
+// Graph implements System.
+func (s *Interpolator) Graph(d int) (*sfg.Graph, error) {
+	if err := check(d); err != nil {
+		return nil, err
+	}
+	if s.Factor < 2 {
+		return nil, fmt.Errorf("systems: interpolation factor %d < 2", s.Factor)
+	}
+	taps := s.Taps
+	if taps == 0 {
+		taps = 63
+	}
+	ir, err := filter.DesignFIR(filter.FIRSpec{
+		Band: filter.Lowpass, Taps: taps, F1: 0.4 / float64(s.Factor), Window: dsp.Hamming,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Interpolators scale the filter by L to restore amplitude.
+	scaled := append([]float64(nil), ir.B...)
+	for i := range scaled {
+		scaled[i] *= float64(s.Factor)
+	}
+	g := sfg.New()
+	in := g.Input("in")
+	g.SetNoise(in, qnoise.Source{Name: "in.q", Mode: Mode, Frac: d})
+	up := g.Up("expand", s.Factor)
+	fb := g.Filter("imagereject", filter.NewFIR(scaled, "image-reject"))
+	g.SetNoise(fb, qnoise.Source{Name: "ir.q", Mode: Mode, Frac: d})
+	out := g.Output("out")
+	g.Chain(in, up, fb, out)
+	return g, nil
+}
+
+// Simulate implements System.
+func (s *Interpolator) Simulate(d int, cfg SimConfig) (*fxsim.Outcome, error) {
+	if err := check(d); err != nil {
+		return nil, err
+	}
+	return graphSimulate(s, d, cfg)
+}

@@ -1,0 +1,99 @@
+package wavelet
+
+import "math"
+
+// Haar returns the orthogonal Haar filter bank (the 2-tap special case),
+// normalized for perfect reconstruction with the same circular alignment as
+// CDF97. Useful as the minimal sanity case for multirate noise analysis:
+// both channels are half-band with flat |H|^2 + |G|^2.
+func Haar() Bank {
+	s := math.Sqrt2 / 2
+	b, err := Bank{
+		H0: []float64{s, s},
+		H1: []float64{s, -s},
+		G0: []float64{s, s},
+		G1: []float64{-s, s},
+	}.Resolve()
+	if err != nil {
+		panic(err) // the Haar bank is PR by construction
+	}
+	return b
+}
+
+// CDF53 returns the Cohen-Daubechies-Feauveau 5/3 bank (the JPEG-2000
+// reversible transform's underlying filters, in their floating-point
+// normalization).
+func CDF53() Bank {
+	b, err := Bank{
+		H0: []float64{-0.125, 0.25, 0.75, 0.25, -0.125},
+		H1: []float64{-0.5, 1, -0.5},
+		G0: []float64{0.5, 1, 0.5},
+		G1: []float64{-0.125, -0.25, 0.75, -0.25, -0.125},
+	}.Resolve()
+	if err != nil {
+		panic(err) // the CDF 5/3 bank is PR by construction
+	}
+	return b
+}
+
+// prOffsets holds the circular alignment of a bank. CDF97's constants are
+// compiled in; other banks search once and cache. The search space is tiny
+// (filter lengths squared times four phases) and the result is validated by
+// exact reconstruction.
+type prOffsets struct {
+	offH0, offH1, phA, phD, offG0, offG1 int
+}
+
+// findPROffsets locates a perfect-reconstruction alignment for a bank by
+// exhaustive search on a short random signal, returning ok=false when the
+// bank is not PR under any circular alignment.
+func findPROffsets(b Bank, n int) (prOffsets, bool) {
+	x := make([]float64, n)
+	// Deterministic pseudo-random probe (no rand dependency needed).
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := range x {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		x[i] = float64(int64(seed))/float64(math.MaxInt64)*0.5 + 0.1*math.Sin(float64(i))
+	}
+	for o0 := 0; o0 < len(b.H0); o0++ {
+		for o1 := 0; o1 < len(b.H1); o1++ {
+			for pa := 0; pa < 2; pa++ {
+				for pd := 0; pd < 2; pd++ {
+					low := cconv(x, b.H0, o0)
+					high := cconv(x, b.H1, o1)
+					a := make([]float64, n/2)
+					d := make([]float64, n/2)
+					for i := 0; i < n/2; i++ {
+						a[i] = low[(2*i+pa)%n]
+						d[i] = high[(2*i+pd)%n]
+					}
+					ua := make([]float64, n)
+					ud := make([]float64, n)
+					for i := 0; i < n/2; i++ {
+						ua[(2*i+pa)%n] = a[i]
+						ud[(2*i+pd)%n] = d[i]
+					}
+					for s0 := 0; s0 < len(b.G0); s0++ {
+						ya := cconv(ua, b.G0, s0)
+						for s1 := 0; s1 < len(b.G1); s1++ {
+							yd := cconv(ud, b.G1, s1)
+							ok := true
+							for i := 0; i < n; i++ {
+								if math.Abs(ya[i]+yd[i]-x[i]) > 1e-9 {
+									ok = false
+									break
+								}
+							}
+							if ok {
+								return prOffsets{o0, o1, pa, pd, s0, s1}, true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return prOffsets{}, false
+}

@@ -1,0 +1,94 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/fixed"
+	"repro/internal/qnoise"
+	"repro/internal/sfg"
+)
+
+// SFGOptions configures BuildSFG.
+type SFGOptions struct {
+	// Levels is the decomposition depth (the paper uses 2).
+	Levels int
+	// Frac is the fractional word-length of every quantizer (the paper
+	// sets all signals to the same d and sweeps it).
+	Frac int
+	// Mode is the rounding behaviour.
+	Mode fixed.RoundMode
+	// QuantizeInput adds a noise source at the input (input quantization).
+	QuantizeInput bool
+}
+
+// BuildSFG constructs the signal-flow graph of the paper's Fig. 3: an
+// L-level Daubechies 9/7 analysis bank (HPc/LPc + downsamplers) feeding the
+// matching synthesis bank (upsamplers + LPd/HPd + adders), with a
+// quantization-noise source at the output of every filter block. The
+// causal-aligned CDF 9/7 filters reconstruct the input with a pure delay,
+// so the only output error is quantization noise — exactly the paper's
+// experimental setup.
+func (b Bank) BuildSFG(opt SFGOptions) (*sfg.Graph, error) {
+	if opt.Levels < 1 {
+		return nil, fmt.Errorf("wavelet: levels %d < 1", opt.Levels)
+	}
+	if opt.Frac < 1 {
+		return nil, fmt.Errorf("wavelet: fractional bits %d < 1", opt.Frac)
+	}
+	g := sfg.New()
+	in := g.Input("xin")
+	if opt.QuantizeInput {
+		g.SetNoise(in, qnoise.Source{Name: "xin.q", Mode: opt.Mode, Frac: opt.Frac})
+	}
+	src := func(name string) qnoise.Source {
+		return qnoise.Source{Name: name, Mode: opt.Mode, Frac: opt.Frac}
+	}
+	// Recursive construction: analyzeLevel returns the node that carries
+	// the reconstructed signal of this level.
+	var build func(input sfg.NodeID, level int) sfg.NodeID
+	build = func(input sfg.NodeID, level int) sfg.NodeID {
+		tag := fmt.Sprintf("l%d", level)
+		// Analysis.
+		lpc := g.Filter("lpc."+tag, filter.NewFIR(b.H0, "LPc 9/7"))
+		hpc := g.Filter("hpc."+tag, filter.NewFIR(b.H1, "HPc 9/7"))
+		g.Connect(input, lpc)
+		g.Connect(input, hpc)
+		g.SetNoise(lpc, src("lpc."+tag))
+		g.SetNoise(hpc, src("hpc."+tag))
+		dnL := g.Down("downL."+tag, 2)
+		dnH := g.Down("downH."+tag, 2)
+		g.Connect(lpc, dnL)
+		g.Connect(hpc, dnH)
+
+		// The approximation branch recurses into the next level; the
+		// reconstructed approximation feeds this level's synthesis.
+		approx := sfg.NodeID(dnL)
+		if level < opt.Levels {
+			approx = build(dnL, level+1)
+		}
+
+		// Synthesis.
+		upL := g.Up("upL."+tag, 2)
+		upH := g.Up("upH."+tag, 2)
+		g.Connect(approx, upL)
+		g.Connect(dnH, upH)
+		lpd := g.Filter("lpd."+tag, filter.NewFIR(b.G0, "LPd 9/7"))
+		hpd := g.Filter("hpd."+tag, filter.NewFIR(b.G1, "HPd 9/7"))
+		g.Connect(upL, lpd)
+		g.Connect(upH, hpd)
+		g.SetNoise(lpd, src("lpd."+tag))
+		g.SetNoise(hpd, src("hpd."+tag))
+		add := g.Adder("sum." + tag)
+		g.Connect(lpd, add)
+		g.Connect(hpd, add)
+		return add
+	}
+	recon := build(in, 1)
+	out := g.Output("yout")
+	g.Connect(recon, out)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("wavelet: built invalid SFG: %w", err)
+	}
+	return g, nil
+}
