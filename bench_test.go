@@ -1,8 +1,12 @@
 // Package repro's root benchmarks regenerate every table and figure of the
 // paper's evaluation section as testing.B targets, plus ablation benches
-// for the design choices called out in DESIGN.md. Run:
+// for the design choices called out in DESIGN.md and the word-length
+// optimizer's parallel-oracle scaling bench. Run:
 //
 //	go test -bench=. -benchmem
+//
+// Passing -short shrinks every Monte-Carlo and corpus size further — the
+// mode cmd/benchreg uses to collect regression records quickly.
 //
 // Each BenchmarkTableX/BenchmarkFigX wraps the corresponding experiment at
 // a benchmark-friendly scale; cmd/experiments runs them at paper scale and
@@ -11,6 +15,8 @@ package repro
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -19,12 +25,27 @@ import (
 	"repro/internal/qnoise"
 	"repro/internal/sfg"
 	"repro/internal/systems"
+	"repro/internal/wlopt"
 )
 
 // benchOpts shrinks Monte-Carlo sizes so a full -bench=. pass stays
-// tractable while preserving every comparison's shape.
+// tractable while preserving every comparison's shape; -short shrinks them
+// again for the regression harness.
 func benchOpts() experiments.Options {
-	return experiments.Options{Samples: 1 << 15, Seed: 1, NPSD: 256}
+	samples := 1 << 15
+	if testing.Short() {
+		samples = 1 << 11
+	}
+	return experiments.Options{Samples: samples, Seed: 1, NPSD: 256}
+}
+
+// benchSimSamples is the per-run stimulus length of the simulation-side
+// benches, shortened under -short.
+func benchSimSamples() int {
+	if testing.Short() {
+		return 1 << 12
+	}
+	return 1 << 15
 }
 
 // BenchmarkTable1_FIR regenerates the FIR half of Table I (147 filters,
@@ -47,6 +68,9 @@ func BenchmarkTable1_IIR(b *testing.B) {
 }
 
 func benchBank(b *testing.B, bank []filter.Filter) {
+	if testing.Short() && len(bank) > 24 {
+		bank = bank[:24]
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for j, f := range bank {
@@ -134,7 +158,7 @@ func BenchmarkFig6_Simulation(b *testing.B) {
 		b.Run(sys.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.Simulate(16, systems.SimConfig{Samples: 1 << 15, Seed: int64(i)}); err != nil {
+				if _, err := sys.Simulate(16, systems.SimConfig{Samples: benchSimSamples(), Seed: int64(i)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -145,10 +169,14 @@ func BenchmarkFig6_Simulation(b *testing.B) {
 // BenchmarkFig7 regenerates the 2-D error-spectrum experiment at reduced
 // corpus size.
 func BenchmarkFig7(b *testing.B) {
+	size, images := 32, 8
+	if testing.Short() {
+		size, images = 16, 2
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig7(experiments.Fig7Options{
-			Size: 32, Images: 8, Seed: int64(i),
+			Size: size, Images: images, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -218,12 +246,104 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	samples := 1 << 16
+	if testing.Short() {
+		samples = 1 << 13
+	}
 	sys := &systems.SingleFilter{Filt: f}
 	b.ReportAllocs()
-	b.SetBytes(1 << 16 * 8)
+	b.SetBytes(int64(samples) * 8)
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Simulate(12, systems.SimConfig{Samples: 1 << 16, Seed: int64(i)}); err != nil {
+		if _, err := sys.Simulate(12, systems.SimConfig{Samples: samples, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWLOpt times the full word-length refinement loop on the paper's
+// DWT system with the plan-cached engine oracle, comparing a single-worker
+// pool against one worker per CPU. The sub-benchmarks must report identical
+// optimization results — only wall-clock may differ; the harness verifies
+// that before timing. This is the headline number of the parallel
+// evaluation engine: candidate moves of each greedy step fan out across
+// the pool.
+func BenchmarkWLOpt(b *testing.B) {
+	maxFrac := 20
+	if testing.Short() {
+		maxFrac = 16
+	}
+	opts := func(workers int) wlopt.Options {
+		return wlopt.Options{Budget: 1e-7, MinFrac: 4, MaxFrac: maxFrac, Workers: workers}
+	}
+	build := func(b *testing.B) *sfg.Graph {
+		g, err := systems.NewDWT().Graph(maxFrac)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	// Equivalence gate: parallel must return the serial assignment.
+	serial, err := wlopt.Optimize(build(b), opts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	parallel, err := wlopt.Optimize(build(b), opts(runtime.NumCPU()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Fracs, parallel.Fracs) || serial.Power != parallel.Power {
+		b.Fatalf("parallel refinement diverged: %v vs %v", parallel.Fracs, serial.Fracs)
+	}
+	workersList := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workersList = append(workersList, n)
+	}
+	for _, workers := range workersList {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := build(b)
+				b.StartTimer()
+				if _, err := wlopt.Optimize(g, opts(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateBatch measures raw oracle throughput: one greedy step's
+// worth of candidate assignments scored through the engine at increasing
+// pool widths.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	g, err := systems.NewDWT().Graph(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.AssignmentOf(g)
+	var batch []core.Assignment
+	for id := range base {
+		a := base.Clone()
+		a[id]--
+		batch = append(batch, a)
+	}
+	workersList := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workersList = append(workersList, n)
+	}
+	for _, workers := range workersList {
+		eng := core.NewEngine(1024, workers)
+		if _, err := eng.EvaluateBatch(g, batch); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvaluateBatch(g, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,196 @@
+// Command benchreg runs the repository benchmarks and records the results
+// as a machine-readable JSON regression file, so the performance trajectory
+// of the hot paths (the evaluation engine, the word-length optimizer, the
+// simulator) accumulates across commits instead of living in scrollback.
+//
+// Usage:
+//
+//	benchreg                                  # short-mode wlopt+engine benches -> BENCH_wlopt.json
+//	benchreg -bench 'Benchmark.*' -count 5 -out BENCH_all.json
+//	benchreg -full                            # full-size benches (no -short)
+//
+// The file records every run of every benchmark plus per-benchmark medians;
+// compare two files with any JSON diff to spot regressions.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchRun is one measured benchmark execution.
+type BenchRun struct {
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// BenchRecord aggregates the runs of one benchmark.
+type BenchRecord struct {
+	Name          string     `json:"name"`
+	Runs          []BenchRun `json:"runs"`
+	MedianNsPerOp float64    `json:"ns_per_op_median"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema     string        `json:"schema"`
+	Generated  time.Time     `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Count      int           `json:"count"`
+	Bench      string        `json:"bench"`
+	Short      bool          `json:"short"`
+	Benchmarks []BenchRecord `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEngineEvaluate|BenchmarkFig6_Estimation",
+			"benchmark regex passed to go test -bench")
+		count = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")
+		pkgs  = flag.String("pkgs", "./...", "package pattern to bench")
+		out   = flag.String("out", "BENCH_wlopt.json", "output JSON path")
+		full  = flag.Bool("full", false, "run full-size benches (omit -short)")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if !*full {
+		args = append(args, "-short")
+	}
+	args = append(args, *pkgs)
+	fmt.Fprintf(os.Stderr, "benchreg: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: go test: %v\n", err)
+		os.Exit(1)
+	}
+	records := parseBenchOutput(buf.String())
+	if len(records) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreg: no benchmark lines matched %q\n", *bench)
+		os.Exit(1)
+	}
+	report := Report{
+		Schema:     "repro/benchreg/v1",
+		Generated:  time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Count:      *count,
+		Bench:      *bench,
+		Short:      !*full,
+		Benchmarks: records,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreg: wrote %d benchmarks to %s\n", len(records), *out)
+	for _, r := range records {
+		fmt.Printf("%-50s %14.0f ns/op (median of %d)\n", r.Name, r.MedianNsPerOp, len(r.Runs))
+	}
+}
+
+// parseBenchOutput extracts benchmark result lines from go test output.
+// A line looks like:
+//
+//	BenchmarkWLOpt/workers=8-8   100   12345678 ns/op   2345 B/op   12 allocs/op
+//
+// Runs of the same benchmark name (across -count repetitions) are grouped
+// in first-seen order.
+func parseBenchOutput(out string) []BenchRecord {
+	groups := make(map[string]*BenchRecord)
+	var order []string
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		run := BenchRun{Iters: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				run.NsPerOp = v
+				ok = true
+			case "B/op":
+				run.BytesPerOp = v
+			case "allocs/op":
+				run.AllocsPerOp = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Strip the trailing -GOMAXPROCS suffix so records compare across
+		// machines with different core counts.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		g, seen := groups[name]
+		if !seen {
+			g = &BenchRecord{Name: name}
+			groups[name] = g
+			order = append(order, name)
+		}
+		g.Runs = append(g.Runs, run)
+	}
+	records := make([]BenchRecord, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		g.MedianNsPerOp = medianNs(g.Runs)
+		records = append(records, *g)
+	}
+	return records
+}
+
+func medianNs(runs []BenchRun) float64 {
+	ns := make([]float64, len(runs))
+	for i, r := range runs {
+		ns[i] = r.NsPerOp
+	}
+	sort.Float64s(ns)
+	n := len(ns)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return ns[n/2]
+	}
+	return (ns[n/2-1] + ns[n/2]) / 2
+}

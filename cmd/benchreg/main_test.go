@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWLOpt/workers=1-8         	      10	  51000000 ns/op	 1688088 B/op	    5189 allocs/op
+BenchmarkWLOpt/workers=8-8         	      40	  13000000 ns/op	 1701234 B/op	    5201 allocs/op
+BenchmarkWLOpt/workers=1-8         	      10	  49000000 ns/op	 1688088 B/op	    5189 allocs/op
+BenchmarkWLOpt/workers=8-8         	      40	  12000000 ns/op	 1701234 B/op	    5201 allocs/op
+BenchmarkWLOpt/workers=1-8         	      10	  50000000 ns/op	 1688088 B/op	    5189 allocs/op
+BenchmarkWLOpt/workers=8-8         	      40	  14000000 ns/op	 1701234 B/op	    5201 allocs/op
+BenchmarkEngineEvaluate/engine-8   	    3000	    385000 ns/op	    9264 B/op	       7 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	records := parseBenchOutput(sampleOutput)
+	if len(records) != 3 {
+		t.Fatalf("expected 3 grouped benchmarks, got %d", len(records))
+	}
+	w1 := records[0]
+	if w1.Name != "BenchmarkWLOpt/workers=1" {
+		t.Fatalf("first record %q (suffix should be stripped)", w1.Name)
+	}
+	if len(w1.Runs) != 3 {
+		t.Fatalf("workers=1 runs %d, want 3", len(w1.Runs))
+	}
+	if w1.MedianNsPerOp != 50000000 {
+		t.Fatalf("workers=1 median %g, want 5e7", w1.MedianNsPerOp)
+	}
+	w8 := records[1]
+	if w8.MedianNsPerOp != 13000000 {
+		t.Fatalf("workers=8 median %g, want 1.3e7", w8.MedianNsPerOp)
+	}
+	if w8.Runs[0].AllocsPerOp != 5201 || w8.Runs[0].BytesPerOp != 1701234 {
+		t.Fatalf("benchmem columns not parsed: %+v", w8.Runs[0])
+	}
+	eng := records[2]
+	if eng.Name != "BenchmarkEngineEvaluate/engine" || eng.Runs[0].Iters != 3000 {
+		t.Fatalf("engine record mangled: %+v", eng)
+	}
+	// The speedup this harness exists to track.
+	speedup := w1.MedianNsPerOp / w8.MedianNsPerOp
+	if math.Abs(speedup-50.0/13.0) > 1e-9 {
+		t.Fatalf("speedup %g", speedup)
+	}
+}
+
+func TestParseBenchOutputIgnoresGarbage(t *testing.T) {
+	if got := parseBenchOutput("PASS\nok repro 0.1s\nBenchmarkBroken abc ns/op\n"); len(got) != 0 {
+		t.Fatalf("expected no records, got %+v", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	runs := []BenchRun{{NsPerOp: 10}, {NsPerOp: 30}, {NsPerOp: 20}, {NsPerOp: 40}}
+	if m := medianNs(runs); m != 25 {
+		t.Fatalf("even median %g, want 25", m)
+	}
+	if m := medianNs(nil); m != 0 {
+		t.Fatalf("empty median %g, want 0", m)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -20,17 +21,18 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|fig7|ablation|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|fig7|wlopt|ablation|all")
 		samples = flag.Int("samples", 1<<20, "Monte-Carlo sample count (paper: 1e6-1e7)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		npsd    = flag.Int("npsd", 1024, "PSD bins for the proposed method")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool width for parallel evaluation/simulation")
 		outDir  = flag.String("out", ".", "output directory for Fig. 7 images")
 		images  = flag.Int("images", 196, "Fig. 7 corpus size")
 		size    = flag.Int("size", 64, "Fig. 7 image side")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Samples: *samples, Seed: *seed, NPSD: *npsd}
+	opt := experiments.Options{Samples: *samples, Seed: *seed, NPSD: *npsd, Workers: *workers}
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
@@ -93,6 +95,16 @@ func main() {
 			return nil
 		})
 	}
+	if want("wlopt") {
+		run("wlopt", func() error {
+			r, err := experiments.WLOpt(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		})
+	}
 	if want("ablation") {
 		run("ablation", func() error {
 			r, err := experiments.Ablation(opt)
@@ -116,7 +128,7 @@ func main() {
 		})
 	}
 	switch *exp {
-	case "all", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "ablation":
+	case "all", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "wlopt", "ablation":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -66,45 +66,6 @@ type Evaluator interface {
 	Name() string
 }
 
-// wave is the propagation state of one source at one node input.
-// Exactly one of coh / pow is active: coh holds the complex amplitude
-// transfer per bin relative to the source (coherent, LTI-only history);
-// pow holds the power-domain PSD after decoherence at a rate changer.
-type wave struct {
-	coh []complex128
-	pow psd.PSD
-}
-
-func (w *wave) coherent() bool { return w.coh != nil }
-
-// decohere converts a coherent wave into power domain for a source with
-// the given moments: Bins[k] = (variance/N) * |G_k|^2, Mean = mean * G_0.
-func (w *wave) decohere(mean, variance float64) {
-	if w.coh == nil {
-		return
-	}
-	n := len(w.coh)
-	p := psd.New(n)
-	p.Mean = mean * real(w.coh[0])
-	per := variance / float64(n)
-	for k, g := range w.coh {
-		re, im := real(g), imag(g)
-		p.Bins[k] = per * (re*re + im*im)
-	}
-	w.pow = p
-	w.coh = nil
-}
-
-func (w *wave) clone() *wave {
-	out := &wave{}
-	if w.coh != nil {
-		out.coh = append([]complex128(nil), w.coh...)
-	} else {
-		out.pow = w.pow.Clone()
-	}
-	return out
-}
-
 // PSDEvaluator is the proposed method with NPSD frequency bins.
 type PSDEvaluator struct {
 	// NPSD is the number of PSD samples (bins); the paper sweeps 16..1024.
@@ -117,153 +78,16 @@ func NewPSDEvaluator(n int) *PSDEvaluator { return &PSDEvaluator{NPSD: n} }
 // Name implements Evaluator.
 func (e *PSDEvaluator) Name() string { return fmt.Sprintf("psd(n=%d)", e.NPSD) }
 
-// Evaluate implements Evaluator.
+// Evaluate implements Evaluator. It builds a one-shot evaluation plan and
+// runs the same propagation code as Engine, so a throwaway evaluator and a
+// plan-cached engine produce bit-identical results; hot paths that evaluate
+// a graph repeatedly should hold an Engine instead to amortize the plan.
 func (e *PSDEvaluator) Evaluate(g *sfg.Graph) (*Result, error) {
-	if e.NPSD < 2 {
-		return nil, fmt.Errorf("core: NPSD %d < 2", e.NPSD)
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	order, err := g.TopoSort()
-	if err != nil {
-		return nil, fmt.Errorf("core: %w (run BreakLoops first)", err)
-	}
-	outID, err := g.OutputNode()
+	p, err := newGraphPlan(g, e.NPSD)
 	if err != nil {
 		return nil, err
 	}
-	// Preprocessing (the paper's tau_pp): sample every LTI node's response
-	// once.
-	resp := make(map[sfg.NodeID][]complex128)
-	for _, n := range g.Nodes() {
-		if n.IsLTI() {
-			resp[n.ID] = n.Response(e.NPSD)
-		}
-	}
-	res := &Result{PSD: psd.New(e.NPSD)}
-	pos := make(map[sfg.NodeID]int, len(order))
-	for i, id := range order {
-		pos[id] = i
-	}
-	for _, srcID := range g.NoiseSources() {
-		node := g.Node(srcID)
-		m := node.Noise.Moments()
-		contrib, err := e.propagate(g, order, pos, resp, srcID, m.Mean, m.Variance, outID)
-		if err != nil {
-			return nil, err
-		}
-		res.PerSource = append(res.PerSource, SourceContribution{
-			Name:     node.Noise.Name,
-			Variance: contrib.Variance(),
-			Mean:     contrib.Mean,
-		})
-		res.Mean += contrib.Mean
-		for k, v := range contrib.Bins {
-			res.PSD.Bins[k] += v
-		}
-	}
-	res.PSD.Mean = res.Mean
-	res.Variance = res.PSD.Variance()
-	res.Power = res.Mean*res.Mean + res.Variance
-	return res, nil
-}
-
-// propagate pushes one source's wave from srcID's output to the graph
-// output and returns its PSD contribution there.
-func (e *PSDEvaluator) propagate(
-	g *sfg.Graph,
-	order []sfg.NodeID,
-	pos map[sfg.NodeID]int,
-	resp map[sfg.NodeID][]complex128,
-	srcID sfg.NodeID,
-	mean, variance float64,
-	outID sfg.NodeID,
-) (psd.PSD, error) {
-	n := e.NPSD
-	waves := make(map[sfg.NodeID]*wave)
-	// The source is injected at srcID's output: seed its successors with a
-	// unit coherent wave.
-	unit := make([]complex128, n)
-	for i := range unit {
-		unit[i] = 1
-	}
-	seed := &wave{coh: unit}
-	for _, s := range g.Succ(srcID) {
-		e.merge(waves, s, seed.clone(), mean, variance)
-	}
-	start := pos[srcID]
-	for _, id := range order {
-		if pos[id] <= start {
-			continue
-		}
-		w, ok := waves[id]
-		if !ok {
-			continue
-		}
-		delete(waves, id)
-		node := g.Node(id)
-		out, err := e.apply(node, w, resp, mean, variance)
-		if err != nil {
-			return psd.PSD{}, err
-		}
-		if id == outID {
-			out.decohere(mean, variance)
-			return out.pow, nil
-		}
-		for _, s := range g.Succ(id) {
-			e.merge(waves, s, out.clone(), mean, variance)
-		}
-	}
-	// Source does not reach the output (e.g. a pruned branch): zero.
-	return psd.New(n), nil
-}
-
-// merge accumulates a wave into the pending input of node id, summing
-// coherently when both sides still carry phase.
-func (e *PSDEvaluator) merge(waves map[sfg.NodeID]*wave, id sfg.NodeID, w *wave, mean, variance float64) {
-	cur, ok := waves[id]
-	if !ok {
-		waves[id] = w
-		return
-	}
-	if cur.coherent() && w.coherent() {
-		for k := range cur.coh {
-			cur.coh[k] += w.coh[k]
-		}
-		return
-	}
-	cur.decohere(mean, variance)
-	w.decohere(mean, variance)
-	cur.pow = cur.pow.AddUncorrelated(w.pow)
-}
-
-// apply transforms a wave through one node.
-func (e *PSDEvaluator) apply(node *sfg.Node, w *wave, resp map[sfg.NodeID][]complex128, mean, variance float64) (*wave, error) {
-	switch node.Kind {
-	case sfg.KindAdder, sfg.KindOutput, sfg.KindInput:
-		return w, nil
-	case sfg.KindFilter, sfg.KindGain, sfg.KindDelay, sfg.KindCustom:
-		r := resp[node.ID]
-		if w.coherent() {
-			for k := range w.coh {
-				w.coh[k] *= r[k]
-			}
-			return w, nil
-		}
-		w.pow = w.pow.ApplyLTI(r)
-		return w, nil
-	case sfg.KindDown:
-		w.decohere(mean, variance)
-		w.pow = w.pow.Downsample(node.Factor)
-		return w, nil
-	case sfg.KindUp:
-		w.decohere(mean, variance)
-		w.pow = w.pow.Upsample(node.Factor)
-		return w, nil
-	default:
-		return nil, fmt.Errorf("core: cannot propagate through node %q of kind %v", node.Name, node.Kind)
-	}
+	return p.evaluate(nil)
 }
 
 // AgnosticEvaluator is the hierarchical moment-only baseline: each block

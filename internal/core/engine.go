@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/psd"
+	"repro/internal/sfg"
+)
+
+// Assignment maps noise-source node IDs to fractional bit widths. It is the
+// unit of work of the batch evaluation API: one Assignment describes one
+// hypothetical fixed-point configuration of a graph without mutating the
+// graph itself, which is what lets many configurations be scored
+// concurrently against shared read-only structure.
+type Assignment map[sfg.NodeID]int
+
+// AssignmentOf captures g's current noise-source widths.
+func AssignmentOf(g *sfg.Graph) Assignment {
+	a := make(Assignment)
+	for _, id := range g.NoiseSources() {
+		a[id] = g.Node(id).Noise.Frac
+	}
+	return a
+}
+
+// UniformAssignment assigns frac to every listed noise source.
+func UniformAssignment(sources []sfg.NodeID, frac int) Assignment {
+	a := make(Assignment, len(sources))
+	for _, id := range sources {
+		a[id] = frac
+	}
+	return a
+}
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for id, f := range a {
+		out[id] = f
+	}
+	return out
+}
+
+// Apply writes the widths into g's noise sources. Sources not present in
+// the assignment keep their current width.
+func (a Assignment) Apply(g *sfg.Graph) {
+	for id, f := range a {
+		g.Node(id).Noise.Frac = f
+	}
+}
+
+// BatchEvaluator is implemented by evaluators that can score many width
+// assignments against one graph, potentially concurrently. Results are
+// returned in assignment order and are identical to evaluating each
+// assignment sequentially.
+type BatchEvaluator interface {
+	Evaluator
+	EvaluateBatch(g *sfg.Graph, as []Assignment) ([]*Result, error)
+}
+
+// Engine is the throughput-oriented form of the proposed PSD method: a
+// concurrency-safe evaluator that caches per-graph state (validated
+// topology snapshot, per-node frequency responses, propagation scratch)
+// across Evaluate calls, and fans batches of width assignments across a
+// worker pool. The word-length optimizer calls the accuracy oracle hundreds
+// of times on one graph; the engine makes each call cheap and lets the
+// independent calls of one greedy step run in parallel.
+//
+// The cached plan freezes graph *structure*: nodes, edges, responses and
+// the noise-source set. Fractional widths may vary freely per call (that is
+// the point), but after any structural change call Invalidate. During
+// EvaluateBatch the graph must not be mutated by anyone.
+//
+// The cache retains one plan (and pins the graph) per evaluated graph for
+// the engine's lifetime; there is no automatic eviction. For an unbounded
+// stream of throwaway graphs, use a fresh engine per graph or Invalidate
+// each graph when done with it.
+type Engine struct {
+	npsd    int
+	workers int
+
+	mu    sync.Mutex
+	plans map[*sfg.Graph]*graphPlan
+}
+
+// NewEngine returns an engine evaluating on npsd bins with the given worker
+// pool width; workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewEngine(npsd, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{npsd: npsd, workers: workers, plans: make(map[*sfg.Graph]*graphPlan)}
+}
+
+// Name implements Evaluator.
+func (e *Engine) Name() string { return fmt.Sprintf("psd-engine(n=%d,w=%d)", e.npsd, e.workers) }
+
+// NPSD returns the PSD grid size.
+func (e *Engine) NPSD() int { return e.npsd }
+
+// Workers returns the worker pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Invalidate drops the cached plan for g. Call after structural graph
+// changes (added nodes or edges, changed filters, added or removed noise
+// sources).
+func (e *Engine) Invalidate(g *sfg.Graph) {
+	e.mu.Lock()
+	delete(e.plans, g)
+	e.mu.Unlock()
+}
+
+func (e *Engine) plan(g *sfg.Graph) (*graphPlan, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.plans[g]; ok {
+		return p, nil
+	}
+	p, err := newGraphPlan(g, e.npsd)
+	if err != nil {
+		return nil, err
+	}
+	e.plans[g] = p
+	return p, nil
+}
+
+// Evaluate implements Evaluator: it scores g's current source widths,
+// reusing the cached plan. Safe to call concurrently as long as the graph
+// is not being mutated.
+func (e *Engine) Evaluate(g *sfg.Graph) (*Result, error) {
+	p, err := e.plan(g)
+	if err != nil {
+		return nil, err
+	}
+	return p.evaluate(nil)
+}
+
+// EvaluateAssignment scores one hypothetical width assignment without
+// touching the graph's stored widths.
+func (e *Engine) EvaluateAssignment(g *sfg.Graph, a Assignment) (*Result, error) {
+	p, err := e.plan(g)
+	if err != nil {
+		return nil, err
+	}
+	return p.evaluate(a)
+}
+
+// EvaluateBatch implements BatchEvaluator: it scores every assignment,
+// fanning the independent evaluations across the worker pool, and returns
+// results in assignment order. The outcome is deterministic and identical
+// for any pool width.
+func (e *Engine) EvaluateBatch(g *sfg.Graph, as []Assignment) ([]*Result, error) {
+	if len(as) == 0 {
+		return nil, nil
+	}
+	p, err := e.plan(g)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(as))
+	errs := make([]error, len(as))
+	workers := e.workers
+	if workers > len(as) {
+		workers = len(as)
+	}
+	if workers <= 1 {
+		for i, a := range as {
+			results[i], errs[i] = p.evaluate(a)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(as) {
+						return
+					}
+					results[i], errs[i] = p.evaluate(as[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// graphPlan is the cached per-graph state: the validated structure snapshot,
+// every LTI node's sampled frequency response, and a pool of propagation
+// scratch arenas (one checked out per concurrent evaluation).
+type graphPlan struct {
+	npsd    int
+	snap    *sfg.Snapshot
+	resp    [][]complex128 // by NodeID; nil for non-LTI nodes
+	scratch sync.Pool      // of *evalScratch
+}
+
+func newGraphPlan(g *sfg.Graph, npsd int) (*graphPlan, error) {
+	if npsd < 2 {
+		return nil, fmt.Errorf("core: NPSD %d < 2", npsd)
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		if g.HasCycle() {
+			return nil, fmt.Errorf("core: %w (run BreakLoops first)", err)
+		}
+		return nil, err
+	}
+	p := &graphPlan{npsd: npsd, snap: snap, resp: make([][]complex128, snap.Len())}
+	// Preprocessing (the paper's tau_pp): sample every LTI node's response
+	// once per plan instead of once per Evaluate call.
+	for _, id := range snap.Order() {
+		if n := snap.Node(id); n.IsLTI() {
+			p.resp[id] = n.Response(npsd)
+		}
+	}
+	p.scratch.New = func() any { return newEvalScratch(npsd) }
+	return p, nil
+}
+
+// evaluate scores one assignment (nil means "the graph's current widths").
+func (p *graphPlan) evaluate(a Assignment) (*Result, error) {
+	s := p.scratch.Get().(*evalScratch)
+	defer p.scratch.Put(s)
+	res := &Result{PSD: psd.New(p.npsd)}
+	for _, srcID := range p.snap.NoiseSources() {
+		src := *p.snap.Node(srcID).Noise
+		if a != nil {
+			if f, ok := a[srcID]; ok {
+				src.Frac = f
+			}
+		}
+		m := src.Moments()
+		s.reset()
+		contrib, err := p.propagate(s, srcID, m.Mean, m.Variance)
+		if err != nil {
+			return nil, err
+		}
+		res.PerSource = append(res.PerSource, SourceContribution{
+			Name:     src.Name,
+			Variance: contrib.Variance(),
+			Mean:     contrib.Mean,
+		})
+		res.Mean += contrib.Mean
+		for k, v := range contrib.Bins {
+			res.PSD.Bins[k] += v
+		}
+	}
+	res.PSD.Mean = res.Mean
+	res.Variance = res.PSD.Variance()
+	res.Power = res.Mean*res.Mean + res.Variance
+	return res, nil
+}
+
+// wave is the propagation state of one source at one node input.
+// Exactly one of coh / pow is active: coh holds the complex amplitude
+// transfer per bin relative to the source (coherent, LTI-only history);
+// pow holds the power-domain PSD after decoherence at a rate changer. All
+// backing buffers come from the evaluation's scratch arena.
+type wave struct {
+	coh []complex128
+	pow psd.PSD
+}
+
+func (w *wave) coherent() bool { return w.coh != nil }
+
+// propagate pushes one source's wave from srcID's output to the graph
+// output and returns its PSD contribution there. The returned PSD's bins
+// live in the scratch arena: consume them before the next reset.
+func (p *graphPlan) propagate(s *evalScratch, srcID sfg.NodeID, mean, variance float64) (psd.PSD, error) {
+	snap := p.snap
+	waves := s.waves
+	clear(waves)
+	// The source is injected at srcID's output: seed its successors with a
+	// unit coherent wave.
+	unit := s.c()
+	for i := range unit {
+		unit[i] = 1
+	}
+	seed := &wave{coh: unit}
+	for _, succ := range snap.Succ(srcID) {
+		p.merge(s, waves, succ, s.cloneWave(seed), mean, variance)
+	}
+	start := snap.Pos(srcID)
+	outID := snap.OutputNode()
+	for _, id := range snap.Order() {
+		if snap.Pos(id) <= start {
+			continue
+		}
+		w, ok := waves[id]
+		if !ok {
+			continue
+		}
+		delete(waves, id)
+		out, err := p.apply(s, snap.Node(id), w, mean, variance)
+		if err != nil {
+			return psd.PSD{}, err
+		}
+		if id == outID {
+			s.decohere(out, mean, variance)
+			return out.pow, nil
+		}
+		for _, succ := range snap.Succ(id) {
+			p.merge(s, waves, succ, s.cloneWave(out), mean, variance)
+		}
+	}
+	// Source does not reach the output (e.g. a pruned branch): zero.
+	bins := s.f()
+	for i := range bins {
+		bins[i] = 0
+	}
+	return psd.PSD{Bins: bins}, nil
+}
+
+// merge accumulates a wave into the pending input of node id, summing
+// coherently when both sides still carry phase.
+func (p *graphPlan) merge(s *evalScratch, waves map[sfg.NodeID]*wave, id sfg.NodeID, w *wave, mean, variance float64) {
+	cur, ok := waves[id]
+	if !ok {
+		waves[id] = w
+		return
+	}
+	if cur.coherent() && w.coherent() {
+		for k := range cur.coh {
+			cur.coh[k] += w.coh[k]
+		}
+		return
+	}
+	s.decohere(cur, mean, variance)
+	s.decohere(w, mean, variance)
+	cur.pow.AddInPlace(w.pow)
+}
+
+// apply transforms a wave through one node, in place where possible.
+func (p *graphPlan) apply(s *evalScratch, node *sfg.Node, w *wave, mean, variance float64) (*wave, error) {
+	switch node.Kind {
+	case sfg.KindAdder, sfg.KindOutput, sfg.KindInput:
+		return w, nil
+	case sfg.KindFilter, sfg.KindGain, sfg.KindDelay, sfg.KindCustom:
+		r := p.resp[node.ID]
+		if w.coherent() {
+			for k := range w.coh {
+				w.coh[k] *= r[k]
+			}
+			return w, nil
+		}
+		w.pow.ApplyLTIInPlace(r)
+		return w, nil
+	case sfg.KindDown:
+		s.decohere(w, mean, variance)
+		w.pow = w.pow.DownsampleInto(psd.PSD{Bins: s.f()}, node.Factor)
+		return w, nil
+	case sfg.KindUp:
+		s.decohere(w, mean, variance)
+		w.pow = w.pow.UpsampleInto(psd.PSD{Bins: s.f()}, node.Factor)
+		return w, nil
+	default:
+		return nil, fmt.Errorf("core: cannot propagate through node %q of kind %v", node.Name, node.Kind)
+	}
+}
+
+// evalScratch is a per-evaluation arena: fixed-size complex and real
+// buffers plus wave headers are handed out sequentially and reclaimed in
+// bulk by reset, so a full propagation allocates nothing in steady state.
+type evalScratch struct {
+	npsd  int
+	waves map[sfg.NodeID]*wave
+
+	cbuf  [][]complex128
+	cused int
+	fbuf  [][]float64
+	fused int
+	wbuf  []*wave
+	wused int
+}
+
+func newEvalScratch(npsd int) *evalScratch {
+	return &evalScratch{npsd: npsd, waves: make(map[sfg.NodeID]*wave)}
+}
+
+func (s *evalScratch) reset() { s.cused, s.fused, s.wused = 0, 0, 0 }
+
+// c returns an uninitialized npsd-length complex buffer from the arena.
+func (s *evalScratch) c() []complex128 {
+	if s.cused == len(s.cbuf) {
+		s.cbuf = append(s.cbuf, make([]complex128, s.npsd))
+	}
+	b := s.cbuf[s.cused]
+	s.cused++
+	return b
+}
+
+// f returns an uninitialized npsd-length real buffer from the arena.
+func (s *evalScratch) f() []float64 {
+	if s.fused == len(s.fbuf) {
+		s.fbuf = append(s.fbuf, make([]float64, s.npsd))
+	}
+	b := s.fbuf[s.fused]
+	s.fused++
+	return b
+}
+
+// newWave returns a cleared wave header from the arena.
+func (s *evalScratch) newWave() *wave {
+	if s.wused == len(s.wbuf) {
+		s.wbuf = append(s.wbuf, &wave{})
+	}
+	w := s.wbuf[s.wused]
+	s.wused++
+	*w = wave{}
+	return w
+}
+
+// cloneWave deep-copies a wave into arena storage.
+func (s *evalScratch) cloneWave(w *wave) *wave {
+	out := s.newWave()
+	if w.coh != nil {
+		out.coh = s.c()
+		copy(out.coh, w.coh)
+		return out
+	}
+	bins := s.f()
+	copy(bins, w.pow.Bins)
+	out.pow = psd.PSD{Mean: w.pow.Mean, Bins: bins}
+	return out
+}
+
+// decohere converts a coherent wave into power domain for a source with
+// the given moments: Bins[k] = (variance/N) * |G_k|^2, Mean = mean * G_0.
+func (s *evalScratch) decohere(w *wave, mean, variance float64) {
+	if w.coh == nil {
+		return
+	}
+	n := len(w.coh)
+	bins := s.f()
+	per := variance / float64(n)
+	for k, g := range w.coh {
+		re, im := real(g), imag(g)
+		bins[k] = per * (re*re + im*im)
+	}
+	w.pow = psd.PSD{Mean: mean * real(w.coh[0]), Bins: bins}
+	w.coh = nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sfg"
+	"repro/internal/systems"
+	"repro/internal/wlopt"
+)
+
+// WLOptRow is one system's word-length refinement outcome, timed with a
+// serial and a parallel oracle.
+type WLOptRow struct {
+	System      string
+	Sources     int
+	Budget      float64
+	Cost        float64
+	UniformCost float64
+	Evaluations int
+	Serial      time.Duration
+	Parallel    time.Duration
+	Workers     int
+	Identical   bool // parallel run returned the serial assignment
+}
+
+// WLOptResult aggregates the refinement experiment.
+type WLOptResult struct {
+	NPSD int
+	Rows []WLOptRow
+}
+
+// wlOptBounds are the width bounds the refinement experiment sweeps.
+const (
+	wlOptMinFrac = 4
+	wlOptMaxFrac = 20
+)
+
+// WLOpt runs the motivating application end-to-end on both paper systems:
+// greedy word-length refinement with the plan-cached PSD engine as the
+// accuracy oracle, once with a single worker and once with Options.Workers,
+// verifying that parallelism changes the wall-clock but not the answer.
+func WLOpt(opt Options) (*WLOptResult, error) {
+	opt = opt.withDefaults()
+	res := &WLOptResult{NPSD: opt.NPSD}
+	ff, err := systems.NewFreqFilter()
+	if err != nil {
+		return nil, err
+	}
+	for _, sys := range []systems.System{ff, systems.NewDWT()} {
+		row, err := wlOptRow(sys, opt)
+		if err != nil {
+			return nil, fmt.Errorf("wlopt %s: %w", sys.Name(), err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func wlOptRow(sys systems.System, opt Options) (*WLOptRow, error) {
+	build := func() (*sfg.Graph, error) { return sys.Graph(wlOptMaxFrac) }
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	// Pick a nontrivial budget the optimizer has to work for: the power of
+	// the uniform mid-range width.
+	eng := core.NewEngine(opt.NPSD, opt.Workers)
+	mid := (wlOptMinFrac + wlOptMaxFrac) / 2
+	probe, err := eng.EvaluateAssignment(g, core.UniformAssignment(g.NoiseSources(), mid))
+	if err != nil {
+		return nil, err
+	}
+	budget := probe.Power
+	wopt := wlopt.Options{
+		Budget:  budget,
+		MinFrac: wlOptMinFrac, MaxFrac: wlOptMaxFrac,
+		Workers: 1,
+	}
+	start := time.Now()
+	serial, err := wlopt.Optimize(g, wopt)
+	if err != nil {
+		return nil, err
+	}
+	serialTime := time.Since(start)
+
+	g2, err := build()
+	if err != nil {
+		return nil, err
+	}
+	wopt.Workers = opt.Workers
+	start = time.Now()
+	parallel, err := wlopt.Optimize(g2, wopt)
+	if err != nil {
+		return nil, err
+	}
+	parallelTime := time.Since(start)
+
+	return &WLOptRow{
+		System:      sys.Name(),
+		Sources:     len(serial.Fracs),
+		Budget:      budget,
+		Cost:        parallel.Cost,
+		UniformCost: parallel.UniformCost,
+		Evaluations: parallel.Evaluations,
+		Serial:      serialTime,
+		Parallel:    parallelTime,
+		Workers:     opt.Workers,
+		Identical:   reflect.DeepEqual(serial.Fracs, parallel.Fracs) && serial.Power == parallel.Power,
+	}, nil
+}
+
+// Render writes the refinement table.
+func (r *WLOptResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "WLOPT: greedy word-length refinement, PSD engine oracle (N_PSD=%d)\n", r.NPSD)
+	fmt.Fprintf(w, "%-12s %8s %12s %10s %10s %7s %12s %12s %8s %9s\n",
+		"system", "sources", "budget", "cost", "uniform", "evals", "serial", "parallel", "speedup", "identical")
+	for _, row := range r.Rows {
+		speedup := float64(row.Serial) / float64(row.Parallel)
+		fmt.Fprintf(w, "%-12s %8d %12.3g %10.0f %10.0f %7d %12v %12v %7.2fx %9v\n",
+			row.System, row.Sources, row.Budget, row.Cost, row.UniformCost,
+			row.Evaluations, row.Serial.Round(time.Microsecond), row.Parallel.Round(time.Microsecond),
+			speedup, row.Identical)
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWLOptExperiment(t *testing.T) {
+	res, err := WLOpt(Options{Samples: 1 << 10, Seed: 1, NPSD: 128, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected both paper systems, got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Fatalf("%s: parallel refinement diverged from serial", row.System)
+		}
+		if row.Cost > row.UniformCost {
+			t.Fatalf("%s: refined cost %g worse than uniform %g", row.System, row.Cost, row.UniformCost)
+		}
+		if row.Evaluations < 10 {
+			t.Fatalf("%s: implausibly few oracle calls: %d", row.System, row.Evaluations)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "WLOPT") {
+		t.Fatal("render missing header")
+	}
+}

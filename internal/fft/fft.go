@@ -1,7 +1,7 @@
 // Package fft provides fast Fourier transforms used throughout the
 // accuracy-evaluation library: an iterative radix-2 Cooley-Tukey transform
 // for power-of-two lengths, a Bluestein chirp-z transform for arbitrary
-// lengths, real-input conveniences, and a separable 2-D transform.
+// lengths, real-input fast paths, and a separable 2-D transform.
 //
 // Conventions: the forward transform computes
 //
@@ -9,6 +9,12 @@
 //
 // with no scaling, and the inverse applies the 1/N factor, so
 // Inverse(Forward(x)) == x up to floating-point rounding.
+//
+// A Plan is safe for concurrent use: the twiddle and Bluestein caches are
+// guarded internally, and the transforms themselves only touch caller-owned
+// slices plus per-call scratch. The package-level convenience functions all
+// share one process-wide plan, so repeated transforms of recurring sizes hit
+// warm tables from any goroutine.
 package fft
 
 import (
@@ -16,6 +22,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // IsPow2 reports whether n is a positive power of two.
@@ -39,42 +46,52 @@ func NextPow2(n int) int {
 	return p
 }
 
-// twiddleCache memoizes the complex exponential tables for radix-2
-// transforms. Tables are tiny relative to the data they transform and the
-// same handful of sizes recurs constantly in PSD work, so a plain map keyed
-// by size is sufficient. Not safe for concurrent mutation; callers needing
-// concurrency should use separate Plan values.
-type twiddleCache struct {
-	fwd map[int][]complex128 // exp(-2*pi*i*j/size) for j < size/2
-}
-
-func (c *twiddleCache) get(n int) []complex128 {
-	if c.fwd == nil {
-		c.fwd = make(map[int][]complex128)
-	}
-	if tw, ok := c.fwd[n]; ok {
-		return tw
-	}
-	tw := make([]complex128, n/2)
-	for j := range tw {
-		ang := -2 * math.Pi * float64(j) / float64(n)
-		tw[j] = cmplx.Exp(complex(0, ang))
-	}
-	c.fwd[n] = tw
-	return tw
-}
-
 // Plan holds reusable state (twiddle tables, Bluestein chirps) for repeated
-// transforms. The zero value is ready to use. A Plan is not safe for
-// concurrent use.
+// transforms. The zero value is ready to use. Plans are safe for concurrent
+// use by multiple goroutines; the cached tables are built once and only read
+// thereafter.
 type Plan struct {
-	tw        twiddleCache
+	mu        sync.RWMutex
+	tw        map[int][]complex128 // exp(-2*pi*i*j/size) for j < size/2
 	bluestein map[int]*bluesteinPlan
 }
 
 // NewPlan returns an empty Plan. Plans lazily build and cache per-size
 // tables on first use.
 func NewPlan() *Plan { return &Plan{} }
+
+// defaultPlan backs the package-level convenience functions; sharing it
+// means every caller in the process reuses the same warm tables.
+var defaultPlan = NewPlan()
+
+// twiddles returns the forward twiddle table for size n (n/2 entries),
+// building and caching it on first use.
+func (p *Plan) twiddles(n int) []complex128 {
+	p.mu.RLock()
+	tw, ok := p.tw[n]
+	p.mu.RUnlock()
+	if ok {
+		return tw
+	}
+	tw = make([]complex128, n/2)
+	for j := range tw {
+		ang := -2 * math.Pi * float64(j) / float64(n)
+		tw[j] = cmplx.Exp(complex(0, ang))
+	}
+	p.mu.Lock()
+	if p.tw == nil {
+		p.tw = make(map[int][]complex128)
+	}
+	// Another goroutine may have raced the build; keep the first table so
+	// in-flight readers and this caller agree on one backing array.
+	if prev, ok := p.tw[n]; ok {
+		tw = prev
+	} else {
+		p.tw[n] = tw
+	}
+	p.mu.Unlock()
+	return tw
+}
 
 // Forward computes the unscaled DFT of x, returning a new slice.
 // Any length >= 1 is accepted; power-of-two lengths use radix-2 and others
@@ -132,6 +149,104 @@ func (p *Plan) InverseInPlace(x []complex128) {
 	}
 }
 
+// RealForward computes the DFT of a real sequence, returning the full
+// conjugate-symmetric complex spectrum of the same length. Even lengths pay
+// only one half-length complex transform (the packing trick); odd lengths
+// fall back to the full complex path.
+func (p *Plan) RealForward(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		panic("fft: transform of empty slice")
+	}
+	out := make([]complex128, n)
+	if n == 1 {
+		out[0] = complex(x[0], 0)
+		return out
+	}
+	if n%2 != 0 {
+		for i, v := range x {
+			out[i] = complex(v, 0)
+		}
+		p.ForwardInPlace(out)
+		return out
+	}
+	h := n / 2
+	z := make([]complex128, h)
+	for j := 0; j < h; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.ForwardInPlace(z)
+	tw := p.twiddles(n)
+	// Untangle the packed half-length spectrum: with E/O the spectra of the
+	// even/odd subsequences, X[k] = E[k] + W^k O[k] and X[k+h] = E[k] - W^k
+	// O[k]; conjugate symmetry fills the upper half.
+	for k := 0; k <= h; k++ {
+		zk := z[k%h]
+		zmk := cmplx.Conj(z[(h-k)%h])
+		e := (zk + zmk) / 2
+		o := (zk - zmk) / 2
+		o = complex(imag(o), -real(o)) // -i * o
+		w := complex(-1, 0)            // W^h
+		if k < h {
+			w = tw[k]
+		}
+		xk := e + w*o
+		if k == h {
+			out[h] = xk
+			break
+		}
+		out[k] = xk
+		if k > 0 {
+			out[n-k] = cmplx.Conj(xk)
+		}
+	}
+	return out
+}
+
+// RealInverse computes the inverse DFT (with 1/N scaling) of a
+// conjugate-symmetric spectrum, returning the real time sequence. It is the
+// inverse of RealForward; for spectra that are not conjugate-symmetric the
+// imaginary residue is discarded. Even lengths pay only one half-length
+// complex transform.
+func (p *Plan) RealInverse(x []complex128) []float64 {
+	n := len(x)
+	if n == 0 {
+		panic("fft: transform of empty slice")
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = real(x[0])
+		return out
+	}
+	if n%2 != 0 {
+		c := make([]complex128, n)
+		copy(c, x)
+		p.InverseInPlace(c)
+		for i, v := range c {
+			out[i] = real(v)
+		}
+		return out
+	}
+	h := n / 2
+	tw := p.twiddles(n)
+	z := make([]complex128, h)
+	// Re-tangle: E[k] = (X[k]+X[k+h])/2, O[k] = W^-k (X[k]-X[k+h])/2, and
+	// Z[k] = E[k] + i O[k] packs the even/odd time samples into one
+	// half-length inverse transform.
+	for k := 0; k < h; k++ {
+		e := (x[k] + x[k+h]) / 2
+		o := (x[k] - x[k+h]) / 2
+		o *= cmplx.Conj(tw[k])
+		z[k] = e + complex(-imag(o), real(o)) // e + i*o
+	}
+	p.InverseInPlace(z)
+	for j := 0; j < h; j++ {
+		out[2*j] = real(z[j])
+		out[2*j+1] = imag(z[j])
+	}
+	return out
+}
+
 // radix2 runs the iterative decimation-in-time transform. inverse selects
 // the conjugate twiddles; scaling is applied by the caller.
 func (p *Plan) radix2(x []complex128, inverse bool) {
@@ -144,7 +259,7 @@ func (p *Plan) radix2(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	tw := p.tw.get(n)
+	tw := p.twiddles(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
@@ -173,14 +288,14 @@ type bluesteinPlan struct {
 }
 
 func (p *Plan) getBluestein(n int) *bluesteinPlan {
-	if p.bluestein == nil {
-		p.bluestein = make(map[int]*bluesteinPlan)
-	}
-	if bp, ok := p.bluestein[n]; ok {
+	p.mu.RLock()
+	bp, ok := p.bluestein[n]
+	p.mu.RUnlock()
+	if ok {
 		return bp
 	}
 	m := NextPow2(2*n - 1)
-	bp := &bluesteinPlan{n: n, m: m}
+	bp = &bluesteinPlan{n: n, m: m}
 	bp.chirp = make([]complex128, n)
 	for k := 0; k < n; k++ {
 		// Use k*k mod 2n to keep the angle argument small and exact.
@@ -197,7 +312,16 @@ func (p *Plan) getBluestein(n int) *bluesteinPlan {
 	}
 	p.radix2(b, false)
 	bp.bFFT = b
-	p.bluestein[n] = bp
+	p.mu.Lock()
+	if p.bluestein == nil {
+		p.bluestein = make(map[int]*bluesteinPlan)
+	}
+	if prev, ok := p.bluestein[n]; ok {
+		bp = prev
+	} else {
+		p.bluestein[n] = bp
+	}
+	p.mu.Unlock()
 	return bp
 }
 
@@ -229,44 +353,32 @@ func (p *Plan) bluesteinTransform(x []complex128, inverse bool) {
 	}
 }
 
-// Forward computes the unscaled DFT of x using a throwaway plan.
-// Convenient for one-off transforms; hot paths should hold a Plan.
-func Forward(x []complex128) []complex128 { return NewPlan().Forward(x) }
+// Forward computes the unscaled DFT of x using the shared package plan.
+func Forward(x []complex128) []complex128 { return defaultPlan.Forward(x) }
 
-// Inverse computes the scaled inverse DFT of x using a throwaway plan.
-func Inverse(x []complex128) []complex128 { return NewPlan().Inverse(x) }
+// Inverse computes the scaled inverse DFT of x using the shared package plan.
+func Inverse(x []complex128) []complex128 { return defaultPlan.Inverse(x) }
+
+// RealForward computes the DFT of a real sequence with the shared package
+// plan, returning the full conjugate-symmetric spectrum.
+func RealForward(x []float64) []complex128 { return defaultPlan.RealForward(x) }
+
+// RealInverse computes the inverse DFT of a conjugate-symmetric spectrum
+// with the shared package plan, returning the real time sequence.
+func RealInverse(x []complex128) []float64 { return defaultPlan.RealInverse(x) }
 
 // ForwardReal computes the DFT of a real sequence, returning the full
-// complex spectrum of the same length.
-func ForwardReal(x []float64) []complex128 {
-	c := make([]complex128, len(x))
-	for i, v := range x {
-		c[i] = complex(v, 0)
-	}
-	return Forward(c)
-}
+// complex spectrum of the same length. It is RealForward under its
+// historical name.
+func ForwardReal(x []float64) []complex128 { return RealForward(x) }
 
 // ForwardRealWith is ForwardReal using the supplied plan.
-func ForwardRealWith(p *Plan, x []float64) []complex128 {
-	c := make([]complex128, len(x))
-	for i, v := range x {
-		c[i] = complex(v, 0)
-	}
-	p.ForwardInPlace(c)
-	return c
-}
+func ForwardRealWith(p *Plan, x []float64) []complex128 { return p.RealForward(x) }
 
 // InverseToReal computes the inverse DFT and returns the real parts,
 // discarding the (ideally negligible) imaginary residue. Use when the
 // spectrum is known to be conjugate-symmetric.
-func InverseToReal(x []complex128) []float64 {
-	c := Inverse(x)
-	out := make([]float64, len(c))
-	for i, v := range c {
-		out[i] = real(v)
-	}
-	return out
-}
+func InverseToReal(x []complex128) []float64 { return defaultPlan.RealInverse(x) }
 
 // Magnitude2 returns |X[k]|^2 for each bin of a spectrum.
 func Magnitude2(x []complex128) []float64 {
@@ -314,7 +426,7 @@ func transform2D(x [][]complex128, tf func(*Plan, []complex128)) [][]complex128 
 	}
 	cols := len(x[0])
 	out := make([][]complex128, rows)
-	p := NewPlan()
+	p := defaultPlan
 	for r := range x {
 		if len(x[r]) != cols {
 			panic("fft: ragged 2-D input")
@@ -338,10 +450,16 @@ func transform2D(x [][]complex128, tf func(*Plan, []complex128)) [][]complex128 
 
 // FrequencyResponse evaluates H(e^{j 2 pi k/n}) for k=0..n-1 of the rational
 // transfer function with numerator b and denominator a (a[0] must be
-// non-zero; pass a=nil or a=[1] for FIR). The evaluation zero-pads b and a to
-// n and divides their DFTs pointwise, which is exact and O(n log n). n may
-// be any positive length but must be >= 1.
+// non-zero; pass a=nil or a=[1] for FIR) using the shared package plan. The
+// evaluation zero-pads b and a to n and divides their DFTs pointwise, which
+// is exact and O(n log n). n must be >= 1.
 func FrequencyResponse(b, a []float64, n int) []complex128 {
+	return defaultPlan.FrequencyResponse(b, a, n)
+}
+
+// FrequencyResponse is the Plan-bound form of the package-level function,
+// for callers that manage their own table cache.
+func (p *Plan) FrequencyResponse(b, a []float64, n int) []complex128 {
 	if n <= 0 {
 		panic("fft: FrequencyResponse with n <= 0")
 	}
@@ -350,14 +468,14 @@ func FrequencyResponse(b, a []float64, n int) []complex128 {
 		// directly instead to stay exact.
 		return evalDirect(b, a, n)
 	}
-	num := padSpectrum(b, n)
+	num := p.padSpectrum(b, n)
 	if len(a) == 0 {
 		return num
 	}
 	if len(a) > n {
 		return evalDirect(b, a, n)
 	}
-	den := padSpectrum(a, n)
+	den := p.padSpectrum(a, n)
 	out := make([]complex128, n)
 	for k := range out {
 		out[k] = num[k] / den[k]
@@ -365,14 +483,12 @@ func FrequencyResponse(b, a []float64, n int) []complex128 {
 	return out
 }
 
-func padSpectrum(c []float64, n int) []complex128 {
-	buf := make([]complex128, n)
-	for i, v := range c {
-		buf[i] = complex(v, 0)
-	}
-	p := NewPlan()
-	p.ForwardInPlace(buf)
-	return buf
+// padSpectrum zero-pads real coefficients to n and transforms through the
+// real-input fast path.
+func (p *Plan) padSpectrum(c []float64, n int) []complex128 {
+	buf := make([]float64, n)
+	copy(buf, c)
+	return p.RealForward(buf)
 }
 
 // evalDirect evaluates the transfer function by Horner's rule in z^-1 at

@@ -71,6 +71,10 @@ type Config struct {
 	Window dsp.WindowType
 	// KeepError retains the raw error signal in the outcome.
 	KeepError bool
+	// Workers bounds the number of shards RunParallel executes
+	// concurrently; <= 0 selects runtime.GOMAXPROCS(0). The outcome is
+	// deterministic for a fixed (Seed, shards) pair regardless of Workers.
+	Workers int
 }
 
 // Outcome reports the measured fixed-point error at the graph output.

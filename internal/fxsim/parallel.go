@@ -42,7 +42,11 @@ func RunParallel(g *sfg.Graph, cfg Config, shards int) (*Outcome, error) {
 	}
 	results := make([]shardResult, shards)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
 	for i := 0; i < shards; i++ {
 		wg.Add(1)
 		go func(i int) {

@@ -1,0 +1,80 @@
+package fxsim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/filter"
+	"repro/internal/fixed"
+	"repro/internal/qnoise"
+	"repro/internal/sfg"
+)
+
+func buildParallelGraph(t *testing.T) *sfg.Graph {
+	t.Helper()
+	f, err := filter.DesignFIR(filter.FIRSpec{Band: filter.Lowpass, Taps: 31, F1: 0.2, Window: dsp.Hamming})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sfg.New()
+	in := g.Input("in")
+	fl := g.Filter("lp", f)
+	out := g.Output("out")
+	g.Chain(in, fl, out)
+	g.SetNoise(fl, qnoise.Source{Mode: fixed.RoundNearest, Frac: 12})
+	return g
+}
+
+// TestRunParallelDeterministicAcrossWorkers: for a fixed (Seed, shards)
+// pair the merged outcome must be bit-identical no matter how wide the
+// worker pool is or how the scheduler interleaves shards.
+func TestRunParallelDeterministicAcrossWorkers(t *testing.T) {
+	g := buildParallelGraph(t)
+	cfg := Config{Samples: 1 << 15, Seed: 42}
+	ref, err := RunParallel(g, cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		c := cfg
+		c.Workers = workers
+		got, err := RunParallel(g, c, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Power != ref.Power || got.Mean != ref.Mean || got.Variance != ref.Variance ||
+			got.RefPower != ref.RefPower || got.Samples != ref.Samples {
+			t.Fatalf("workers=%d: outcome diverges: %+v vs %+v", workers, got, ref)
+		}
+	}
+}
+
+// TestRunParallelRepeatedRunsIdentical: repeated runs with the same config
+// are bit-identical — shards reseed from (Seed + shard index), so there is
+// no hidden shared RNG state. Running concurrent RunParallel calls on the
+// same read-only graph also has to be clean under -race.
+func TestRunParallelRepeatedRunsIdentical(t *testing.T) {
+	g := buildParallelGraph(t)
+	cfg := Config{Samples: 1 << 14, Seed: 7}
+	ref, err := RunParallel(g, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got, err := RunParallel(g, cfg, 4)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			if got.Power != ref.Power || got.Mean != ref.Mean || got.Samples != ref.Samples {
+				t.Errorf("worker %d: outcome diverges: %+v vs %+v", w, got, ref)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -88,16 +88,22 @@ func (p PSD) Scale(g float64) PSD {
 // frequency response resp (len(resp) must equal len(Bins)): bins are scaled
 // by |H|^2 (Eq. 11), the mean by the real DC gain H(0).
 func (p PSD) ApplyLTI(resp []complex128) PSD {
+	out := p.Clone()
+	out.ApplyLTIInPlace(resp)
+	return out
+}
+
+// ApplyLTIInPlace is ApplyLTI without the copy: p's own bins are scaled by
+// |H|^2 and its mean by the real DC gain.
+func (p *PSD) ApplyLTIInPlace(resp []complex128) {
 	if len(resp) != len(p.Bins) {
 		panic(fmt.Sprintf("psd: response length %d != bins %d", len(resp), len(p.Bins)))
 	}
-	out := p.Clone()
-	out.Mean *= real(resp[0])
+	p.Mean *= real(resp[0])
 	for i, h := range resp {
 		re, im := real(h), imag(h)
-		out.Bins[i] *= re*re + im*im
+		p.Bins[i] *= re*re + im*im
 	}
-	return out
 }
 
 // ApplyMagnitude2 is ApplyLTI given |H|^2 directly.
@@ -117,15 +123,21 @@ func (p PSD) ApplyMagnitude2(mag2 []float64, dcGain float64) PSD {
 // (Eq. 14): AC bins add; means add signed (deterministic components always
 // sum coherently, capturing Eq. 12's DC cross-terms).
 func (p PSD) AddUncorrelated(o PSD) PSD {
+	out := p.Clone()
+	out.AddInPlace(o)
+	return out
+}
+
+// AddInPlace accumulates an uncorrelated signal's PSD into p (Eq. 14)
+// without allocating: AC bins add, means add signed.
+func (p *PSD) AddInPlace(o PSD) {
 	if len(o.Bins) != len(p.Bins) {
 		panic(fmt.Sprintf("psd: adding PSDs with %d and %d bins", len(p.Bins), len(o.Bins)))
 	}
-	out := p.Clone()
-	out.Mean += o.Mean
+	p.Mean += o.Mean
 	for i, v := range o.Bins {
-		out.Bins[i] += v
+		p.Bins[i] += v
 	}
-	return out
 }
 
 // Downsample returns the PSD after keeping every factor-th sample. The
@@ -137,14 +149,25 @@ func (p PSD) AddUncorrelated(o PSD) PSD {
 // evaluated with circular linear interpolation of the input density so that
 // power lands between grid points smoothly. The mean is unchanged.
 func (p PSD) Downsample(factor int) PSD {
+	return p.DownsampleInto(New(len(p.Bins)), factor)
+}
+
+// DownsampleInto is Downsample writing into a caller-provided PSD of the
+// same bin count (whose contents are overwritten); it returns out. The
+// destination must not alias p.
+func (p PSD) DownsampleInto(out PSD, factor int) PSD {
 	if factor < 1 {
 		panic(fmt.Sprintf("psd: downsample factor %d", factor))
 	}
-	if factor == 1 {
-		return p.Clone()
-	}
 	n := len(p.Bins)
-	out := New(n)
+	if len(out.Bins) != n {
+		panic(fmt.Sprintf("psd: downsample into %d bins, want %d", len(out.Bins), n))
+	}
+	if factor == 1 {
+		copy(out.Bins, p.Bins)
+		out.Mean = p.Mean
+		return out
+	}
 	out.Mean = p.Mean
 	fn := float64(n)
 	for j := 0; j < n; j++ {
@@ -187,14 +210,25 @@ func (p PSD) densityAt(pos float64) float64 {
 //
 // The mean divides by L (zero samples dilute the DC component).
 func (p PSD) Upsample(factor int) PSD {
+	return p.UpsampleInto(New(len(p.Bins)), factor)
+}
+
+// UpsampleInto is Upsample writing into a caller-provided PSD of the same
+// bin count (whose contents are overwritten); it returns out. The
+// destination must not alias p.
+func (p PSD) UpsampleInto(out PSD, factor int) PSD {
 	if factor < 1 {
 		panic(fmt.Sprintf("psd: upsample factor %d", factor))
 	}
-	if factor == 1 {
-		return p.Clone()
-	}
 	n := len(p.Bins)
-	out := New(n)
+	if len(out.Bins) != n {
+		panic(fmt.Sprintf("psd: upsample into %d bins, want %d", len(out.Bins), n))
+	}
+	if factor == 1 {
+		copy(out.Bins, p.Bins)
+		out.Mean = p.Mean
+		return out
+	}
 	out.Mean = p.Mean / float64(factor)
 	inv := 1 / float64(factor*factor)
 	for j := 0; j < n; j++ {

@@ -3,7 +3,6 @@ package wlopt
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/sfg"
@@ -12,129 +11,97 @@ import (
 // OptimizeAscent runs the dual greedy — the classical "min + 1 bit"
 // ascent: every source starts at MinFrac and the algorithm repeatedly adds
 // one bit to the source whose increment reduces the output noise the most
-// per unit cost, until the budget is met. Ascent tends to need fewer oracle
-// calls than descent when the answer sits near the bottom of the range;
-// descent (Optimize) finds slightly cheaper assignments when most sources
-// need to stay wide. The graph's source widths are left at the result.
+// per unit cost, until the budget is met. All candidate increments of one
+// step are scored concurrently (see Options.Workers). Ascent tends to need
+// fewer oracle calls than descent when the answer sits near the bottom of
+// the range; descent (Optimize) finds slightly cheaper assignments when
+// most sources need to stay wide. The graph's source widths are left at
+// the result.
 func OptimizeAscent(g *sfg.Graph, opt Options) (*Result, error) {
-	if opt.Budget <= 0 {
-		return nil, fmt.Errorf("wlopt: budget %g must be positive", opt.Budget)
-	}
-	if opt.MinFrac < 1 || opt.MaxFrac < opt.MinFrac || opt.MaxFrac > 48 {
-		return nil, fmt.Errorf("wlopt: bad width bounds [%d, %d]", opt.MinFrac, opt.MaxFrac)
-	}
-	ev := opt.Evaluator
-	if ev == nil {
-		ev = core.NewPSDEvaluator(256)
+	if err := checkOptions(opt); err != nil {
+		return nil, err
 	}
 	sources := g.NoiseSources()
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("wlopt: graph has no noise sources")
 	}
+	orc := newOracle(g, opt)
+	weight := weightFn(opt)
 	res := &Result{Fracs: map[string]int{}}
-	weight := func(name string) float64 {
-		if opt.CostPerBit == nil {
-			return 1
-		}
-		if w, ok := opt.CostPerBit[name]; ok {
-			return w
-		}
-		return 1
-	}
-	evaluate := func() (float64, error) {
-		res.Evaluations++
-		r, err := ev.Evaluate(g)
-		if err != nil {
-			return 0, err
-		}
-		return r.Power, nil
-	}
+
 	// Feasibility check at the top of the range.
-	for _, id := range sources {
-		g.Node(id).Noise.Frac = opt.MaxFrac
-	}
-	if p, err := evaluate(); err != nil {
+	if p, err := orc.power(core.UniformAssignment(sources, opt.MaxFrac)); err != nil {
 		return nil, err
 	} else if p > opt.Budget {
 		return nil, fmt.Errorf("wlopt: budget %g unreachable even at %d fractional bits (power %g)",
 			opt.Budget, opt.MaxFrac, p)
 	}
+
 	// Ascent from the bottom.
-	for _, id := range sources {
-		g.Node(id).Noise.Frac = opt.MinFrac
-	}
-	power, err := evaluate()
+	cur := core.UniformAssignment(sources, opt.MinFrac)
+	power, err := orc.power(cur)
 	if err != nil {
 		return nil, err
 	}
 	for power > opt.Budget {
 		type cand struct {
 			id    sfg.NodeID
+			a     core.Assignment
 			power float64
 			score float64 // noise reduction per unit cost
 		}
-		best := cand{score: math.Inf(-1)}
-		found := false
+		var cands []cand
+		var batch []core.Assignment
 		for _, id := range sources {
-			n := g.Node(id)
-			if n.Noise.Frac >= opt.MaxFrac {
+			if cur[id] >= opt.MaxFrac {
 				continue
 			}
-			n.Noise.Frac++
-			p, err := evaluate()
-			n.Noise.Frac--
-			if err != nil {
-				return nil, err
-			}
-			score := (power - p) / weight(n.Noise.Name)
-			if score > best.score {
-				best = cand{id: id, power: p, score: score}
+			a := cur.Clone()
+			a[id]++
+			cands = append(cands, cand{id: id, a: a})
+			batch = append(batch, a)
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
+		}
+		ps, err := orc.powers(batch)
+		if err != nil {
+			return nil, err
+		}
+		best := cand{score: math.Inf(-1)}
+		found := false
+		for i := range cands {
+			cands[i].power = ps[i]
+			cands[i].score = (power - ps[i]) / weight(g.Node(cands[i].id).Noise.Name)
+			// Strict > keeps the first best in source order, matching the
+			// serial scan for any worker count.
+			if cands[i].score > best.score {
+				best = cands[i]
 				found = true
 			}
 		}
 		if !found {
 			return nil, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
 		}
-		g.Node(best.id).Noise.Frac++
+		cur = best.a
 		power = best.power
 	}
 	res.Power = power
+	cur.Apply(g)
 	for _, id := range sources {
 		n := g.Node(id)
 		res.Fracs[n.Noise.Name] = n.Noise.Frac
 		res.Cost += weight(n.Noise.Name) * float64(n.Noise.Frac)
 	}
-	// Uniform baseline for comparison (shared logic with descent would
-	// re-evaluate anyway; keep it simple and direct).
-	names := make([]string, 0, len(sources))
+
+	// Uniform baseline for comparison.
+	res.UniformFrac, err = uniformBaseline(orc, sources, opt)
+	if err != nil {
+		return nil, err
+	}
 	for _, id := range sources {
-		names = append(names, g.Node(id).Noise.Name)
+		res.UniformCost += weight(g.Node(id).Noise.Name) * float64(res.UniformFrac)
 	}
-	sort.Strings(names)
-	saveFracs := map[string]int{}
-	for _, id := range sources {
-		saveFracs[g.Node(id).Noise.Name] = g.Node(id).Noise.Frac
-	}
-	res.UniformFrac = opt.MaxFrac
-	for f := opt.MaxFrac; f >= opt.MinFrac; f-- {
-		for _, id := range sources {
-			g.Node(id).Noise.Frac = f
-		}
-		p, err := evaluate()
-		if err != nil {
-			return nil, err
-		}
-		if p > opt.Budget {
-			break
-		}
-		res.UniformFrac = f
-	}
-	for _, name := range names {
-		res.UniformCost += weight(name) * float64(res.UniformFrac)
-	}
-	// Restore the optimized assignment.
-	for _, id := range sources {
-		g.Node(id).Noise.Frac = saveFracs[g.Node(id).Noise.Name]
-	}
+	res.Evaluations = orc.evaluations
 	return res, nil
 }

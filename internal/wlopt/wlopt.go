@@ -5,7 +5,9 @@
 // evaluators from package core as its accuracy oracle. Because the greedy
 // search evaluates the system hundreds of times, the 3-5 orders of
 // magnitude between analytical estimation and Monte-Carlo simulation
-// (Fig. 6) is the difference between milliseconds and days.
+// (Fig. 6) is the difference between milliseconds and days — and because
+// the candidate moves of one greedy step are independent, they are scored
+// concurrently through core.BatchEvaluator when the oracle supports it.
 package wlopt
 
 import (
@@ -27,8 +29,15 @@ type Options struct {
 	// names.
 	CostPerBit map[string]float64
 	// Evaluator is the accuracy oracle; nil selects the proposed PSD
-	// method with 256 bins.
+	// method with 256 bins, plan-cached and batch-parallel (core.Engine).
 	Evaluator core.Evaluator
+	// Workers bounds the number of concurrent candidate evaluations per
+	// greedy step when the default engine is used; <= 0 selects
+	// runtime.GOMAXPROCS(0). The optimization result is identical for
+	// every Workers value — only wall-clock time changes. A caller-
+	// provided Evaluator manages its own parallelism (batch-capable
+	// evaluators are fanned out; plain evaluators run serially).
+	Workers int
 }
 
 // Result reports the optimized assignment.
@@ -49,28 +58,90 @@ type Result struct {
 	UniformCost float64
 }
 
-// Optimize runs a greedy max-minus-one descent: starting from MaxFrac
-// everywhere (which must meet the budget), it repeatedly removes one bit
-// from the source whose removal keeps the budget satisfied while freeing
-// the most cost, until no single-bit removal is feasible. The graph's
-// source widths are left at the optimized assignment.
-func Optimize(g *sfg.Graph, opt Options) (*Result, error) {
-	if opt.Budget <= 0 {
-		return nil, fmt.Errorf("wlopt: budget %g must be positive", opt.Budget)
-	}
-	if opt.MinFrac < 1 || opt.MaxFrac < opt.MinFrac || opt.MaxFrac > 48 {
-		return nil, fmt.Errorf("wlopt: bad width bounds [%d, %d]", opt.MinFrac, opt.MaxFrac)
-	}
+// oracle adapts the configured Evaluator to assignment-based scoring: a
+// batch-capable evaluator scores hypothetical assignments without touching
+// the graph (and in parallel); a plain evaluator falls back to serial
+// mutate-evaluate-restore.
+type oracle struct {
+	g           *sfg.Graph
+	ev          core.Evaluator
+	batch       core.BatchEvaluator
+	evaluations int
+}
+
+func newOracle(g *sfg.Graph, opt Options) *oracle {
 	ev := opt.Evaluator
 	if ev == nil {
-		ev = core.NewPSDEvaluator(256)
+		ev = core.NewEngine(256, opt.Workers)
 	}
-	sources := g.NoiseSources()
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("wlopt: graph has no noise sources")
+	o := &oracle{g: g, ev: ev}
+	if b, ok := ev.(core.BatchEvaluator); ok {
+		o.batch = b
 	}
-	res := &Result{Fracs: map[string]int{}}
-	weight := func(name string) float64 {
+	return o
+}
+
+// powers scores assignments, in order; independent candidates fan out
+// across the evaluator's worker pool when it is batch-capable.
+func (o *oracle) powers(as []core.Assignment) ([]float64, error) {
+	o.evaluations += len(as)
+	out := make([]float64, len(as))
+	if o.batch != nil {
+		rs, err := o.batch.EvaluateBatch(o.g, as)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rs {
+			out[i] = r.Power
+		}
+		return out, nil
+	}
+	saved := core.AssignmentOf(o.g)
+	defer saved.Apply(o.g)
+	for i, a := range as {
+		a.Apply(o.g)
+		r, err := o.ev.Evaluate(o.g)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.Power
+	}
+	return out, nil
+}
+
+// power scores one assignment.
+func (o *oracle) power(a core.Assignment) (float64, error) {
+	ps, err := o.powers([]core.Assignment{a})
+	if err != nil {
+		return 0, err
+	}
+	return ps[0], nil
+}
+
+// evaluateGraph scores the graph's current widths directly through the
+// underlying evaluator — used for the final reported power so that the
+// result always matches an independent Evaluate of the mutated graph.
+func (o *oracle) evaluateGraph() (float64, error) {
+	o.evaluations++
+	r, err := o.ev.Evaluate(o.g)
+	if err != nil {
+		return 0, err
+	}
+	return r.Power, nil
+}
+
+func checkOptions(opt Options) error {
+	if opt.Budget <= 0 {
+		return fmt.Errorf("wlopt: budget %g must be positive", opt.Budget)
+	}
+	if opt.MinFrac < 1 || opt.MaxFrac < opt.MinFrac || opt.MaxFrac > 48 {
+		return fmt.Errorf("wlopt: bad width bounds [%d, %d]", opt.MinFrac, opt.MaxFrac)
+	}
+	return nil
+}
+
+func weightFn(opt Options) func(string) float64 {
+	return func(name string) float64 {
 		if opt.CostPerBit == nil {
 			return 1
 		}
@@ -79,23 +150,55 @@ func Optimize(g *sfg.Graph, opt Options) (*Result, error) {
 		}
 		return 1
 	}
-	setAll := func(frac int) {
-		for _, id := range sources {
-			g.Node(id).Noise.Frac = frac
+}
+
+// uniformBaseline finds the smallest uniform width meeting the budget,
+// scanning downward from MaxFrac-1 and stopping at the first infeasible
+// width like the serial scan — but scoring a small chunk of widths per
+// oracle round so the batch evaluator can overlap them. The chunk size is
+// fixed, so the oracle-call count does not depend on Options.Workers.
+func uniformBaseline(orc *oracle, sources []sfg.NodeID, opt Options) (int, error) {
+	const chunk = 4
+	best := opt.MaxFrac
+	for hi := opt.MaxFrac - 1; hi >= opt.MinFrac; hi -= chunk {
+		var widths []core.Assignment
+		for f := hi; f >= opt.MinFrac && f > hi-chunk; f-- {
+			widths = append(widths, core.UniformAssignment(sources, f))
 		}
-	}
-	evaluate := func() (float64, error) {
-		res.Evaluations++
-		r, err := ev.Evaluate(g)
+		ps, err := orc.powers(widths)
 		if err != nil {
 			return 0, err
 		}
-		return r.Power, nil
+		for i, p := range ps { // widths[i] is hi-i
+			if p > opt.Budget {
+				return best, nil
+			}
+			best = hi - i
+		}
 	}
+	return best, nil
+}
+
+// Optimize runs a greedy max-minus-one descent: starting from MaxFrac
+// everywhere (which must meet the budget), it repeatedly removes one bit
+// from the source whose removal keeps the budget satisfied while freeing
+// the most cost, until no single-bit removal is feasible. All candidate
+// removals of one step are scored concurrently (see Options.Workers). The
+// graph's source widths are left at the optimized assignment.
+func Optimize(g *sfg.Graph, opt Options) (*Result, error) {
+	if err := checkOptions(opt); err != nil {
+		return nil, err
+	}
+	sources := g.NoiseSources()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("wlopt: graph has no noise sources")
+	}
+	orc := newOracle(g, opt)
+	weight := weightFn(opt)
+	res := &Result{Fracs: map[string]int{}}
 
 	// Feasibility at MaxFrac.
-	setAll(opt.MaxFrac)
-	p, err := evaluate()
+	p, err := orc.power(core.UniformAssignment(sources, opt.MaxFrac))
 	if err != nil {
 		return nil, err
 	}
@@ -105,65 +208,72 @@ func Optimize(g *sfg.Graph, opt Options) (*Result, error) {
 	}
 
 	// Uniform baseline: smallest uniform width meeting the budget.
-	res.UniformFrac = opt.MaxFrac
-	for f := opt.MaxFrac - 1; f >= opt.MinFrac; f-- {
-		setAll(f)
-		p, err := evaluate()
-		if err != nil {
-			return nil, err
-		}
-		if p > opt.Budget {
-			break
-		}
-		res.UniformFrac = f
+	res.UniformFrac, err = uniformBaseline(orc, sources, opt)
+	if err != nil {
+		return nil, err
 	}
 	for _, id := range sources {
 		res.UniformCost += weight(g.Node(id).Noise.Name) * float64(res.UniformFrac)
 	}
 
-	// Greedy descent from MaxFrac.
-	setAll(opt.MaxFrac)
+	// Greedy descent from MaxFrac. Every step scores all single-bit
+	// removals as one batch of independent assignments.
+	cur := core.UniformAssignment(sources, opt.MaxFrac)
 	for {
 		type cand struct {
 			id    sfg.NodeID
+			a     core.Assignment
 			power float64
 			gain  float64
 		}
 		var cands []cand
+		var batch []core.Assignment
 		for _, id := range sources {
-			n := g.Node(id)
-			if n.Noise.Frac <= opt.MinFrac {
+			if cur[id] <= opt.MinFrac {
 				continue
 			}
-			n.Noise.Frac--
-			p, err := evaluate()
-			n.Noise.Frac++
-			if err != nil {
-				return nil, err
-			}
-			if p <= opt.Budget {
-				cands = append(cands, cand{id: id, power: p, gain: weight(n.Noise.Name)})
-			}
+			a := cur.Clone()
+			a[id]--
+			cands = append(cands, cand{id: id, a: a, gain: weight(g.Node(id).Noise.Name)})
+			batch = append(batch, a)
 		}
 		if len(cands) == 0 {
 			break
 		}
-		// Prefer the largest cost gain; break ties toward the smallest
-		// resulting power (keeps slack for later removals).
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].gain != cands[j].gain {
-				return cands[i].gain > cands[j].gain
+		ps, err := orc.powers(batch)
+		if err != nil {
+			return nil, err
+		}
+		feasible := cands[:0]
+		for i := range cands {
+			cands[i].power = ps[i]
+			if ps[i] <= opt.Budget {
+				feasible = append(feasible, cands[i])
 			}
-			return cands[i].power < cands[j].power
+		}
+		if len(feasible) == 0 {
+			break
+		}
+		// Prefer the largest cost gain; break ties toward the smallest
+		// resulting power (keeps slack for later removals). The stable
+		// sort keeps source order as the final tie-break, so the outcome
+		// is deterministic for any worker count.
+		sort.SliceStable(feasible, func(i, j int) bool {
+			if feasible[i].gain != feasible[j].gain {
+				return feasible[i].gain > feasible[j].gain
+			}
+			return feasible[i].power < feasible[j].power
 		})
-		g.Node(cands[0].id).Noise.Frac--
+		cur = feasible[0].a
 	}
 
-	final, err := evaluate()
+	cur.Apply(g)
+	final, err := orc.evaluateGraph()
 	if err != nil {
 		return nil, err
 	}
 	res.Power = final
+	res.Evaluations = orc.evaluations
 	for _, id := range sources {
 		n := g.Node(id)
 		res.Fracs[n.Noise.Name] = n.Noise.Frac
