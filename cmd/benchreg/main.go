@@ -8,9 +8,18 @@
 //	benchreg                                  # short-mode wlopt+engine benches -> BENCH_wlopt.json
 //	benchreg -bench 'Benchmark.*' -count 5 -out BENCH_all.json
 //	benchreg -full                            # full-size benches (no -short)
+//	benchreg -check BENCH_wlopt.json          # CI gate: fail on >30 % median regression
 //
 // The file records every run of every benchmark plus per-benchmark medians;
-// compare two files with any JSON diff to spot regressions.
+// compare two files with any JSON diff to spot regressions — or pass
+// -check with a committed baseline file to turn the comparison into a CI
+// gate: the run fails (exit 1) if any benchmark present in both files
+// regresses its median ns/op by more than -maxregress percent. Benchmarks
+// that exist on only one side are reported but never fail the gate, so
+// adding or retiring a benchmark does not require regenerating the
+// baseline in the same commit. When the baseline was recorded on different
+// hardware (goos/goarch/cpu mismatch) absolute ns/op are not comparable,
+// so the gate reports regressions but exits 0 unless -strict-host is set.
 package main
 
 import (
@@ -49,6 +58,7 @@ type Report struct {
 	GoVersion  string        `json:"go_version"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
+	CPU        string        `json:"cpu,omitempty"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Count      int           `json:"count"`
 	Bench      string        `json:"bench"`
@@ -60,12 +70,31 @@ func main() {
 	var (
 		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEngineEvaluate|BenchmarkFig6_Estimation",
 			"benchmark regex passed to go test -bench")
-		count = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")
-		pkgs  = flag.String("pkgs", "./...", "package pattern to bench")
-		out   = flag.String("out", "BENCH_wlopt.json", "output JSON path")
-		full  = flag.Bool("full", false, "run full-size benches (omit -short)")
+		count      = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")
+		pkgs       = flag.String("pkgs", "./...", "package pattern to bench")
+		out        = flag.String("out", "BENCH_wlopt.json", "output JSON path ('' to skip writing)")
+		full       = flag.Bool("full", false, "run full-size benches (omit -short)")
+		check      = flag.String("check", "", "baseline JSON to gate against: exit 1 if any shared benchmark's median regresses more than -maxregress percent")
+		maxRegress = flag.Float64("maxregress", 30, "maximum tolerated median regression, in percent, for -check")
+		strictHost = flag.Bool("strict-host", false, "fail the -check gate even when the baseline was recorded on different hardware (default: advisory on host mismatch, since absolute ns/op are not comparable across machines)")
 	)
 	flag.Parse()
+
+	// Load the baseline before running (and long before writing) anything:
+	// a missing baseline fails fast, and -out can never clobber the file
+	// the gate is about to compare against.
+	var baseline *Report
+	if *check != "" {
+		var err error
+		if baseline, err = loadReport(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: -check: %v\n", err)
+			os.Exit(1)
+		}
+		if *out == *check {
+			fmt.Fprintf(os.Stderr, "benchreg: refusing to overwrite baseline %s; skipping -out (pass -out elsewhere to keep the fresh report)\n", *check)
+			*out = ""
+		}
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-count", strconv.Itoa(*count)}
@@ -93,26 +122,124 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		CPU:        parseCPU(buf.String()),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Count:      *count,
 		Bench:      *bench,
 		Short:      !*full,
 		Benchmarks: records,
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
-		os.Exit(1)
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchreg: wrote %d benchmarks to %s\n", len(records), *out)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchreg: wrote %d benchmarks to %s\n", len(records), *out)
 	for _, r := range records {
 		fmt.Printf("%-50s %14.0f ns/op (median of %d)\n", r.Name, r.MedianNsPerOp, len(r.Runs))
 	}
+	if baseline != nil {
+		hostMismatch := baseline.GOOS != report.GOOS || baseline.GOARCH != report.GOARCH ||
+			(baseline.CPU != "" && report.CPU != "" && baseline.CPU != report.CPU)
+		if hostMismatch {
+			fmt.Fprintf(os.Stderr, "benchreg: WARNING: baseline host (%s/%s %q) differs from this host (%s/%s %q); absolute ns/op medians are not comparable across hardware\n",
+				baseline.GOOS, baseline.GOARCH, baseline.CPU, report.GOOS, report.GOARCH, report.CPU)
+		}
+		deltas := compareMedians(baseline.Benchmarks, records)
+		failed := false
+		fmt.Printf("\nregression gate vs %s (threshold +%g%%):\n", *check, *maxRegress)
+		for _, d := range deltas {
+			status := "ok"
+			switch {
+			case d.BaselineNs == 0 || d.CurrentNs == 0:
+				status = "skipped (not in both files)"
+			case d.Percent > *maxRegress:
+				status = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("%-50s %14.0f -> %14.0f ns/op %+7.1f%%  %s\n",
+				d.Name, d.BaselineNs, d.CurrentNs, d.Percent, status)
+		}
+		switch {
+		case failed && hostMismatch && !*strictHost:
+			// Cross-hardware comparisons regress spuriously; the gate is
+			// advisory unless the caller opted into -strict-host.
+			fmt.Fprintf(os.Stderr, "benchreg: regression beyond %g%% but hosts differ — advisory only (pass -strict-host to enforce, or regenerate the baseline on this host)\n", *maxRegress)
+			fmt.Printf("gate passed (advisory: host mismatch)\n")
+		case failed:
+			fmt.Fprintf(os.Stderr, "benchreg: median regression beyond %g%% — failing the gate\n", *maxRegress)
+			os.Exit(1)
+		default:
+			fmt.Printf("gate passed\n")
+		}
+	}
+}
+
+// loadReport reads a benchreg JSON document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// medianDelta is one benchmark's baseline-to-current movement. A zero
+// BaselineNs or CurrentNs marks a benchmark present on only one side.
+type medianDelta struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Percent    float64 // positive = slower than baseline
+}
+
+// compareMedians pairs baseline and current records by name, in current
+// order followed by baseline-only leftovers, and computes the median ns/op
+// movement for benchmarks present in both.
+func compareMedians(baseline, current []BenchRecord) []medianDelta {
+	base := make(map[string]float64, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r.MedianNsPerOp
+	}
+	var out []medianDelta
+	seen := map[string]bool{}
+	for _, r := range current {
+		seen[r.Name] = true
+		d := medianDelta{Name: r.Name, CurrentNs: r.MedianNsPerOp}
+		if b, ok := base[r.Name]; ok && b > 0 {
+			d.BaselineNs = b
+			d.Percent = (r.MedianNsPerOp - b) / b * 100
+		}
+		out = append(out, d)
+	}
+	for _, r := range baseline {
+		if !seen[r.Name] {
+			out = append(out, medianDelta{Name: r.Name, BaselineNs: r.MedianNsPerOp})
+		}
+	}
+	return out
+}
+
+// parseCPU extracts the host CPU model from go test's "cpu:" banner line,
+// so -check can tell whether a baseline came from comparable hardware.
+func parseCPU(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
 }
 
 // parseBenchOutput extracts benchmark result lines from go test output.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -66,5 +68,89 @@ func TestMedianEven(t *testing.T) {
 	}
 	if m := medianNs(nil); m != 0 {
 		t.Fatalf("empty median %g, want 0", m)
+	}
+}
+
+func TestCompareMedians(t *testing.T) {
+	baseline := []BenchRecord{
+		{Name: "BenchmarkA", MedianNsPerOp: 100},
+		{Name: "BenchmarkB", MedianNsPerOp: 200},
+		{Name: "BenchmarkRetired", MedianNsPerOp: 50},
+	}
+	current := []BenchRecord{
+		{Name: "BenchmarkA", MedianNsPerOp: 150}, // +50 %
+		{Name: "BenchmarkB", MedianNsPerOp: 190}, // -5 %
+		{Name: "BenchmarkNew", MedianNsPerOp: 75},
+	}
+	deltas := compareMedians(baseline, current)
+	if len(deltas) != 4 {
+		t.Fatalf("expected 4 deltas, got %d", len(deltas))
+	}
+	byName := map[string]medianDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; math.Abs(d.Percent-50) > 1e-9 {
+		t.Fatalf("A percent %g, want +50", d.Percent)
+	}
+	if d := byName["BenchmarkB"]; math.Abs(d.Percent+5) > 1e-9 {
+		t.Fatalf("B percent %g, want -5", d.Percent)
+	}
+	// One-sided benchmarks carry a zero on the missing side and a zero
+	// percent, which the gate treats as skipped.
+	if d := byName["BenchmarkNew"]; d.BaselineNs != 0 || d.Percent != 0 {
+		t.Fatalf("new benchmark delta %+v should be skipped", d)
+	}
+	if d := byName["BenchmarkRetired"]; d.CurrentNs != 0 || d.Percent != 0 {
+		t.Fatalf("retired benchmark delta %+v should be skipped", d)
+	}
+}
+
+func TestCompareMediansOrder(t *testing.T) {
+	// Current order first, then baseline-only leftovers, so the gate's
+	// output is stable across runs.
+	deltas := compareMedians(
+		[]BenchRecord{{Name: "Old", MedianNsPerOp: 1}, {Name: "Shared", MedianNsPerOp: 2}},
+		[]BenchRecord{{Name: "Shared", MedianNsPerOp: 2}, {Name: "New", MedianNsPerOp: 3}},
+	)
+	want := []string{"Shared", "New", "Old"}
+	for i, d := range deltas {
+		if d.Name != want[i] {
+			t.Fatalf("delta order %d = %q, want %q", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestLoadReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	body := `{"schema":"repro/benchreg/v1","benchmarks":[{"name":"BenchmarkA","runs":[{"iters":1,"ns_per_op":100}],"ns_per_op_median":100}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 1 || r.Benchmarks[0].MedianNsPerOp != 100 {
+		t.Fatalf("loaded %+v", r)
+	}
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := os.WriteFile(path, []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(path); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+}
+
+func TestParseCPU(t *testing.T) {
+	if cpu := parseCPU(sampleOutput); cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("parseCPU = %q", cpu)
+	}
+	if cpu := parseCPU("no banner here\n"); cpu != "" {
+		t.Fatalf("parseCPU on bannerless output = %q", cpu)
 	}
 }

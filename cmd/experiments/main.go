@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|fig7|wlopt|ablation|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig4|fig5|table2|fig6|fig7|wlopt|ablation|suite|all (suite runs only when named)")
 		samples = flag.Int("samples", 1<<20, "Monte-Carlo sample count (paper: 1e6-1e7)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		npsd    = flag.Int("npsd", 1024, "PSD bins for the proposed method")
@@ -31,6 +31,16 @@ func main() {
 		size    = flag.Int("size", 64, "Fig. 7 image side")
 	)
 	flag.Parse()
+
+	// Reject unknown experiment names before doing any work, so a typo
+	// exits non-zero with usage instead of silently running nothing.
+	switch *exp {
+	case "all", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "wlopt", "ablation", "suite":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opt := experiments.Options{Samples: *samples, Seed: *seed, NPSD: *npsd, Workers: *workers}
 	run := func(name string, fn func() error) {
@@ -127,11 +137,19 @@ func main() {
 			return nil
 		})
 	}
-	switch *exp {
-	case "all", "table1", "fig4", "fig5", "table2", "fig6", "fig7", "wlopt", "ablation":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	// The strategy-suite sweep is beyond the paper's evaluation section, so
+	// it runs only when named explicitly, not under -exp all.
+	if *exp == "suite" {
+		run("suite", func() error {
+			r, err := experiments.Suite(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			if n := r.Failures(); n > 0 {
+				return fmt.Errorf("%d/%d cells failed", n, len(r.Cells))
+			}
+			return nil
+		})
 	}
 }

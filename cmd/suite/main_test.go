@@ -1,0 +1,30 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseWidths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"", nil, false},
+		{"8", []int{8}, false},
+		{"8,10, 12", []int{8, 10, 12}, false},
+		{"8,x", nil, true},
+		{"8,,10", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseWidths(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseWidths(%q) error = %v, want error %v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseWidths(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

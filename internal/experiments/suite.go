@@ -1,0 +1,18 @@
+package experiments
+
+import "repro/internal/suite"
+
+// Suite runs the full-registry scenario sweep (every system x every
+// registered word-length strategy x the default budget grid) as an
+// experiment mode: the same harness cmd/suite exposes, scaled by the
+// experiment options. NPSD and Workers map onto the engine bin count and
+// the cell pool; Samples is ignored (the sweep is purely analytical — that
+// is the paper's point).
+func Suite(opt Options) (*suite.Report, error) {
+	opt = opt.withDefaults()
+	return suite.Run(suite.Config{
+		NPSD:    opt.NPSD,
+		Workers: opt.Workers,
+		Seed:    opt.Seed,
+	})
+}

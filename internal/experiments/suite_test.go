@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSuiteExperiment: the -exp suite mode sweeps the registry with every
+// registered strategy at the experiment's NPSD and renders cleanly. The
+// test shrinks NPSD; grid scale is covered by package suite's own tests.
+func TestSuiteExperiment(t *testing.T) {
+	rep, err := Suite(Options{NPSD: 64, Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NPSD != 64 {
+		t.Fatalf("NPSD %d, want 64", rep.NPSD)
+	}
+	if len(rep.Systems) < 4 || len(rep.Strategies) < 4 {
+		t.Fatalf("sweep too small: %d systems x %d strategies", len(rep.Systems), len(rep.Strategies))
+	}
+	if rep.Failures() != 0 {
+		t.Fatalf("%d cells failed", rep.Failures())
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,154 @@
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/systems"
+	"repro/internal/wlopt"
+)
+
+func shortConfig() Config {
+	return Config{Short: true, Workers: 4}
+}
+
+// TestRunCoversRegistryTimesStrategies: the short sweep executes every
+// registered system x every registered strategy at least once, and every
+// cell succeeds with a feasible, baseline-beating assignment.
+func TestRunCoversRegistryTimesStrategies(t *testing.T) {
+	rep, err := Run(shortConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := systems.RegistryNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := wlopt.Strategies()
+	if len(strategies) < 4 {
+		t.Fatalf("expected >= 4 registered strategies, got %v", strategies)
+	}
+	if want := len(names) * len(strategies); len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d (%d systems x %d strategies)", len(rep.Cells), want, len(names), len(strategies))
+	}
+	seen := map[string]bool{}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s/%s failed: %s", c.System, c.Strategy, c.Err)
+			continue
+		}
+		seen[c.System+"|"+c.Strategy] = true
+		if c.Power > c.Budget {
+			t.Errorf("cell %s/%s: power %g over budget %g", c.System, c.Strategy, c.Power, c.Budget)
+		}
+		if c.Cost > c.UniformCost {
+			t.Errorf("cell %s/%s: cost %g worse than uniform %g", c.System, c.Strategy, c.Cost, c.UniformCost)
+		}
+		if c.Evaluations <= 0 || c.Sources <= 0 {
+			t.Errorf("cell %s/%s: implausible evals=%d sources=%d", c.System, c.Strategy, c.Evaluations, c.Sources)
+		}
+	}
+	for _, sys := range names {
+		for _, st := range strategies {
+			if !seen[sys+"|"+st] {
+				t.Errorf("pair %s x %s missing from report", sys, st)
+			}
+		}
+	}
+	if rep.Failures() != 0 {
+		t.Fatalf("%d failures", rep.Failures())
+	}
+}
+
+// TestRunDeterministicAcrossPoolWidths: the report's cells (minus wall
+// time) are identical for any Workers value.
+func TestRunDeterministicAcrossPoolWidths(t *testing.T) {
+	strip := func(rep *Report) []Cell {
+		out := make([]Cell, len(rep.Cells))
+		for i, c := range rep.Cells {
+			c.WallMS = 0
+			out[i] = c
+		}
+		return out
+	}
+	cfg := shortConfig()
+	cfg.Strategies = []string{"hybrid", "anneal"}
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := strip(serial), strip(parallel)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d diverges across pool widths:\n  workers=1: %+v\n  workers=8: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReportJSONRoundTrip: the emitted document parses back into an equal
+// report.
+func TestReportJSONRoundTrip(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Strategies = []string{"ascent"}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != "repro/suite/v1" {
+		t.Fatalf("schema %q", back.Schema)
+	}
+	if len(back.Cells) != len(rep.Cells) || back.Cells[0] != rep.Cells[0] {
+		t.Fatalf("round trip diverges: %+v vs %+v", back.Cells[0], rep.Cells[0])
+	}
+}
+
+func TestRenderListsEveryCell(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Strategies = []string{"descent"}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, c := range rep.Cells {
+		if !strings.Contains(out, c.System) || !strings.Contains(out, c.Strategy) {
+			t.Fatalf("render missing cell %s/%s:\n%s", c.System, c.Strategy, out)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Strategies = []string{"no-such-strategy"}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Fatalf("expected unknown-strategy error, got %v", err)
+	}
+	cfg = shortConfig()
+	cfg.BudgetWidths = []int{100}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected budget-width validation error")
+	}
+	cfg = shortConfig()
+	cfg.MinFrac, cfg.MaxFrac = 8, 4
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected width-bound validation error")
+	}
+}

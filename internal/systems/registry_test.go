@@ -1,0 +1,43 @@
+package systems
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRegistryStable: the registry enumerates every benchmark system under
+// its stable name, instances are fresh per call, and every system builds a
+// graph with at least one noise source (the property sweep tooling needs).
+func TestRegistryStable(t *testing.T) {
+	names, err := RegistryNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fir-lp31(tab1)", "iir-bw4(tab1)", "freq-filter(fig2)",
+		"dwt97(fig3)", "decimator(M=4)", "interpolator(L=4)",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registry names %v, want %v", names, want)
+	}
+	a, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			t.Fatalf("registry entry %d (%s) shared between calls", i, a[i].Name())
+		}
+		g, err := a[i].Graph(12)
+		if err != nil {
+			t.Fatalf("%s: %v", a[i].Name(), err)
+		}
+		if len(g.NoiseSources()) == 0 {
+			t.Fatalf("%s: graph has no noise sources", a[i].Name())
+		}
+	}
+}

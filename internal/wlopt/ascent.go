@@ -8,41 +8,55 @@ import (
 	"repro/internal/sfg"
 )
 
-// OptimizeAscent runs the dual greedy — the classical "min + 1 bit"
-// ascent: every source starts at MinFrac and the algorithm repeatedly adds
-// one bit to the source whose increment reduces the output noise the most
-// per unit cost, until the budget is met. All candidate increments of one
-// step are scored concurrently (see Options.Workers). Ascent tends to need
-// fewer oracle calls than descent when the answer sits near the bottom of
-// the range; descent (Optimize) finds slightly cheaper assignments when
-// most sources need to stay wide. The graph's source widths are left at
-// the result.
-func OptimizeAscent(g *sfg.Graph, opt Options) (*Result, error) {
-	if err := checkOptions(opt); err != nil {
-		return nil, err
-	}
-	sources := g.NoiseSources()
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("wlopt: graph has no noise sources")
-	}
-	orc := newOracle(g, opt)
-	weight := weightFn(opt)
-	res := &Result{Fracs: map[string]int{}}
+// ascentStrategy is the dual greedy — the classical "min + 1 bit" ascent:
+// every source starts at MinFrac and the algorithm repeatedly adds one bit
+// to the source whose increment reduces the output noise the most per unit
+// cost, until the budget is met. Ascent tends to need fewer oracle calls
+// than descent when the answer sits near the bottom of the range; descent
+// finds slightly cheaper assignments when most sources need to stay wide.
+type ascentStrategy struct{}
 
-	// Feasibility check at the top of the range.
-	if p, err := orc.power(core.UniformAssignment(sources, opt.MaxFrac)); err != nil {
+// Name implements Strategy.
+func (ascentStrategy) Name() string { return "ascent" }
+
+// Run implements Strategy. All candidate increments of one step are scored
+// concurrently (see Options.Workers).
+func (ascentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
+	res := &Result{Fracs: map[string]int{}}
+	if err := o.requireFeasible(opt); err != nil {
 		return nil, err
-	} else if p > opt.Budget {
-		return nil, fmt.Errorf("wlopt: budget %g unreachable even at %d fractional bits (power %g)",
-			opt.Budget, opt.MaxFrac, p)
 	}
 
 	// Ascent from the bottom.
-	cur := core.UniformAssignment(sources, opt.MinFrac)
-	power, err := orc.power(cur)
+	cur := core.UniformAssignment(o.Sources(), opt.MinFrac)
+	power, err := o.Power(cur)
 	if err != nil {
 		return nil, err
 	}
+	cur, power, err = climb(o, opt, cur, power)
+	if err != nil {
+		return nil, err
+	}
+	res.Power = power
+	cur.Apply(o.Graph())
+	o.fillFromGraph(res)
+
+	// Uniform baseline for comparison.
+	ufrac, err := UniformBaseline(o, opt)
+	if err != nil {
+		return nil, err
+	}
+	o.fillUniform(res, ufrac)
+	res.Evaluations = o.Evaluations()
+	return res, nil
+}
+
+// climb runs the greedy bit-addition loop from cur (whose power is the
+// second argument) until the budget is met, scoring every step's candidate
+// increments as one batch. It returns the first feasible assignment and its
+// power. It is the core of the ascent strategy and the first phase of the
+// hybrid strategy.
+func climb(o *Oracle, opt Options, cur core.Assignment, power float64) (core.Assignment, float64, error) {
 	for power > opt.Budget {
 		type cand struct {
 			id    sfg.NodeID
@@ -52,7 +66,7 @@ func OptimizeAscent(g *sfg.Graph, opt Options) (*Result, error) {
 		}
 		var cands []cand
 		var batch []core.Assignment
-		for _, id := range sources {
+		for _, id := range o.Sources() {
 			if cur[id] >= opt.MaxFrac {
 				continue
 			}
@@ -62,17 +76,17 @@ func OptimizeAscent(g *sfg.Graph, opt Options) (*Result, error) {
 			batch = append(batch, a)
 		}
 		if len(cands) == 0 {
-			return nil, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
+			return nil, 0, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
 		}
-		ps, err := orc.powers(batch)
+		ps, err := o.Powers(batch)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		best := cand{score: math.Inf(-1)}
 		found := false
 		for i := range cands {
 			cands[i].power = ps[i]
-			cands[i].score = (power - ps[i]) / weight(g.Node(cands[i].id).Noise.Name)
+			cands[i].score = (power - ps[i]) / o.Weight(cands[i].id)
 			// Strict > keeps the first best in source order, matching the
 			// serial scan for any worker count.
 			if cands[i].score > best.score {
@@ -81,27 +95,18 @@ func OptimizeAscent(g *sfg.Graph, opt Options) (*Result, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
+			return nil, 0, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
 		}
 		cur = best.a
 		power = best.power
 	}
-	res.Power = power
-	cur.Apply(g)
-	for _, id := range sources {
-		n := g.Node(id)
-		res.Fracs[n.Noise.Name] = n.Noise.Frac
-		res.Cost += weight(n.Noise.Name) * float64(n.Noise.Frac)
-	}
+	return cur, power, nil
+}
 
-	// Uniform baseline for comparison.
-	res.UniformFrac, err = uniformBaseline(orc, sources, opt)
-	if err != nil {
-		return nil, err
-	}
-	for _, id := range sources {
-		res.UniformCost += weight(g.Node(id).Noise.Name) * float64(res.UniformFrac)
-	}
-	res.Evaluations = orc.evaluations
-	return res, nil
+// OptimizeAscent runs the "ascent" strategy — the classical min-plus-one
+// search. The graph's source widths are left at the result. It is a thin
+// wrapper over RunStrategy, kept for the callers that predate the strategy
+// registry.
+func OptimizeAscent(g *sfg.Graph, opt Options) (*Result, error) {
+	return RunStrategy(g, "ascent", opt)
 }

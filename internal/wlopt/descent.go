@@ -1,0 +1,113 @@
+package wlopt
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sfg"
+)
+
+// descentStrategy is the greedy max-minus-one descent: starting from
+// MaxFrac everywhere (which must meet the budget), it repeatedly removes
+// one bit from the source whose removal keeps the budget satisfied while
+// freeing the most cost, until no single-bit removal is feasible.
+type descentStrategy struct{}
+
+// Name implements Strategy.
+func (descentStrategy) Name() string { return "descent" }
+
+// Run implements Strategy. All candidate removals of one step are scored
+// concurrently (see Options.Workers).
+func (descentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
+	res := &Result{Fracs: map[string]int{}}
+	if err := o.requireFeasible(opt); err != nil {
+		return nil, err
+	}
+
+	// Uniform baseline: smallest uniform width meeting the budget.
+	ufrac, err := UniformBaseline(o, opt)
+	if err != nil {
+		return nil, err
+	}
+	o.fillUniform(res, ufrac)
+
+	// Greedy descent from MaxFrac.
+	cur, err := trim(o, opt, core.UniformAssignment(o.Sources(), opt.MaxFrac))
+	if err != nil {
+		return nil, err
+	}
+
+	cur.Apply(o.Graph())
+	final, err := o.EvaluateGraph()
+	if err != nil {
+		return nil, err
+	}
+	res.Power = final
+	res.Evaluations = o.Evaluations()
+	o.fillFromGraph(res)
+	return res, nil
+}
+
+// trim runs the greedy bit-removal loop from cur: every step scores all
+// feasible single-bit removals as one batch of independent assignments and
+// takes the one freeing the most cost, until no removal stays under the
+// budget. It is the whole of the descent strategy and the second phase of
+// the hybrid strategy.
+func trim(o *Oracle, opt Options, cur core.Assignment) (core.Assignment, error) {
+	for {
+		type cand struct {
+			id    sfg.NodeID
+			a     core.Assignment
+			power float64
+			gain  float64
+		}
+		var cands []cand
+		var batch []core.Assignment
+		for _, id := range o.Sources() {
+			if cur[id] <= opt.MinFrac {
+				continue
+			}
+			a := cur.Clone()
+			a[id]--
+			cands = append(cands, cand{id: id, a: a, gain: o.Weight(id)})
+			batch = append(batch, a)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		ps, err := o.Powers(batch)
+		if err != nil {
+			return nil, err
+		}
+		feasible := cands[:0]
+		for i := range cands {
+			cands[i].power = ps[i]
+			if ps[i] <= opt.Budget {
+				feasible = append(feasible, cands[i])
+			}
+		}
+		if len(feasible) == 0 {
+			break
+		}
+		// Prefer the largest cost gain; break ties toward the smallest
+		// resulting power (keeps slack for later removals). The stable
+		// sort keeps source order as the final tie-break, so the outcome
+		// is deterministic for any worker count.
+		sort.SliceStable(feasible, func(i, j int) bool {
+			if feasible[i].gain != feasible[j].gain {
+				return feasible[i].gain > feasible[j].gain
+			}
+			return feasible[i].power < feasible[j].power
+		})
+		cur = feasible[0].a
+	}
+	return cur, nil
+}
+
+// Optimize runs the "descent" strategy — the greedy max-minus-one search.
+// The graph's source widths are left at the optimized assignment. It is a
+// thin wrapper over RunStrategy, kept for the callers that predate the
+// strategy registry.
+func Optimize(g *sfg.Graph, opt Options) (*Result, error) {
+	return RunStrategy(g, "descent", opt)
+}

@@ -1,0 +1,97 @@
+package wlopt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sfg"
+)
+
+// Strategy is a pluggable word-length search procedure. A strategy receives
+// the accuracy oracle and the validated options, explores assignments by
+// scoring them through the oracle (batch calls fan out across the worker
+// pool), and leaves the graph's source widths at its chosen assignment.
+//
+// Implementations must be deterministic for a given (graph, Options) pair
+// at every Options.Workers value: randomized searches must draw all
+// randomness from Options.Seed in an order independent of the pool width.
+type Strategy interface {
+	// Name is the stable registry key ("descent", "ascent", ...).
+	Name() string
+	// Run executes the search. RunStrategy has already validated the
+	// options and checked that the graph has noise sources.
+	Run(o *Oracle, opt Options) (*Result, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Strategy{}
+	regOrder   []string
+)
+
+// Register adds a strategy under its Name. It panics on an empty or
+// duplicate name — registration happens at init time, where a collision is
+// a programming error.
+func Register(s Strategy) {
+	name := s.Name()
+	if name == "" {
+		panic("wlopt: Register with empty strategy name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("wlopt: strategy %q registered twice", name))
+	}
+	registry[name] = s
+	regOrder = append(regOrder, name)
+}
+
+// Lookup returns the registered strategy with the given name.
+func Lookup(name string) (Strategy, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Strategies lists every registered strategy name in registration order
+// (the four built-ins first: descent, ascent, hybrid, anneal).
+func Strategies() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, len(regOrder))
+	copy(out, regOrder)
+	return out
+}
+
+// RunStrategy validates the options, builds the oracle, and runs the named
+// registered strategy on g. The graph's source widths are left at the
+// strategy's chosen assignment.
+func RunStrategy(g *sfg.Graph, name string, opt Options) (*Result, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		known := Strategies()
+		sort.Strings(known)
+		return nil, fmt.Errorf("wlopt: unknown strategy %q (registered: %v)", name, known)
+	}
+	if err := checkOptions(opt); err != nil {
+		return nil, err
+	}
+	if len(g.NoiseSources()) == 0 {
+		return nil, fmt.Errorf("wlopt: graph has no noise sources")
+	}
+	res, err := s.Run(newOracle(g, opt), opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = s.Name()
+	return res, nil
+}
+
+func init() {
+	Register(descentStrategy{})
+	Register(ascentStrategy{})
+	Register(hybridStrategy{})
+	Register(annealStrategy{})
+}

@@ -1,0 +1,252 @@
+package wlopt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sfg"
+	"repro/internal/systems"
+)
+
+// golden results captured by running the pre-refactor Optimize /
+// OptimizeAscent (commit 7255fe7) on the same graphs and options. The
+// strategy refactor must reproduce them exactly — assignment, power, cost,
+// baseline, and oracle-call count.
+type golden struct {
+	fracs       map[string]int
+	power       float64
+	cost        float64
+	uniformFrac int
+	uniformCost float64
+	evaluations int
+}
+
+var preRefactorGoldens = map[string]golden{
+	"descent/two-stage": {
+		fracs: map[string]int{"in": 4, "lp": 12, "hp": 12},
+		power: 6.8885255145050188e-09, cost: 28,
+		uniformFrac: 12, uniformCost: 36, evaluations: 145,
+	},
+	"ascent/two-stage": {
+		fracs: map[string]int{"in": 4, "lp": 12, "hp": 12},
+		power: 6.8885255145050188e-09, cost: 28,
+		uniformFrac: 12, uniformCost: 36, evaluations: 66,
+	},
+	"descent/dwt": {
+		fracs: map[string]int{
+			"xin.q": 12, "lpd.l1": 12, "hpd.l1": 12, "lpc.l1": 12, "hpc.l1": 11,
+			"lpd.l2": 11, "hpd.l2": 11, "lpc.l2": 12, "hpc.l2": 10,
+		},
+		power: 8.8466145447346623e-08, cost: 103,
+		uniformFrac: 12, uniformCost: 108, evaluations: 716,
+	},
+	"ascent/dwt": {
+		fracs: map[string]int{
+			"xin.q": 12, "lpd.l1": 12, "hpd.l1": 12, "lpc.l1": 12, "hpc.l1": 11,
+			"lpd.l2": 11, "hpd.l2": 11, "lpc.l2": 12, "hpc.l2": 10,
+		},
+		power: 8.8466145447346623e-08, cost: 103,
+		uniformFrac: 12, uniformCost: 108, evaluations: 617,
+	},
+}
+
+func goldenGraph(t *testing.T, which string) (*sfg.Graph, Options) {
+	t.Helper()
+	switch which {
+	case "two-stage":
+		return buildTwoStage(t), Options{Budget: 1e-8, MinFrac: 4, MaxFrac: 24}
+	case "dwt":
+		g, err := systems.NewDWT().Graph(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, Options{Budget: 1e-7, MinFrac: 4, MaxFrac: 20}
+	}
+	t.Fatalf("unknown graph %q", which)
+	return nil, Options{}
+}
+
+// TestStrategiesReproducePreRefactorResults pins the refactored "descent"
+// and "ascent" strategies — through both the wrapper entry points and
+// RunStrategy — to the exact outputs the monolithic Optimize /
+// OptimizeAscent produced before the strategy interface existed.
+func TestStrategiesReproducePreRefactorResults(t *testing.T) {
+	for key, want := range preRefactorGoldens {
+		parts := strings.SplitN(key, "/", 2)
+		strategy, graph := parts[0], parts[1]
+		for _, entry := range []string{"wrapper", "registry"} {
+			g, opt := goldenGraph(t, graph)
+			var res *Result
+			var err error
+			switch {
+			case entry == "registry":
+				res, err = RunStrategy(g, strategy, opt)
+			case strategy == "descent":
+				res, err = Optimize(g, opt)
+			default:
+				res, err = OptimizeAscent(g, opt)
+			}
+			if err != nil {
+				t.Fatalf("%s via %s: %v", key, entry, err)
+			}
+			if res.Strategy != strategy {
+				t.Errorf("%s via %s: Strategy = %q", key, entry, res.Strategy)
+			}
+			if !reflect.DeepEqual(res.Fracs, want.fracs) {
+				t.Errorf("%s via %s: fracs %v, pre-refactor %v", key, entry, res.Fracs, want.fracs)
+			}
+			if res.Power != want.power {
+				t.Errorf("%s via %s: power %.17g, pre-refactor %.17g", key, entry, res.Power, want.power)
+			}
+			if res.Cost != want.cost || res.UniformFrac != want.uniformFrac || res.UniformCost != want.uniformCost {
+				t.Errorf("%s via %s: cost %g/%d/%g, pre-refactor %g/%d/%g", key, entry,
+					res.Cost, res.UniformFrac, res.UniformCost, want.cost, want.uniformFrac, want.uniformCost)
+			}
+			if res.Evaluations != want.evaluations {
+				t.Errorf("%s via %s: %d oracle calls, pre-refactor %d", key, entry, res.Evaluations, want.evaluations)
+			}
+		}
+	}
+}
+
+// TestBuiltinStrategiesRegistered: the four built-ins are registered in
+// canonical order, and lookups resolve them.
+func TestBuiltinStrategiesRegistered(t *testing.T) {
+	names := Strategies()
+	want := []string{"descent", "ascent", "hybrid", "anneal"}
+	if len(names) < len(want) {
+		t.Fatalf("registered strategies %v, want at least %v", names, want)
+	}
+	if !reflect.DeepEqual(names[:4], want) {
+		t.Fatalf("built-in order %v, want %v", names[:4], want)
+	}
+	for _, n := range want {
+		s, ok := Lookup(n)
+		if !ok || s.Name() != n {
+			t.Fatalf("Lookup(%q) = %v, %v", n, s, ok)
+		}
+	}
+	if _, ok := Lookup("no-such-strategy"); ok {
+		t.Fatal("Lookup of unregistered name succeeded")
+	}
+}
+
+func TestRunStrategyUnknownName(t *testing.T) {
+	g := buildTwoStage(t)
+	_, err := RunStrategy(g, "no-such-strategy", Options{Budget: 1e-8, MinFrac: 4, MaxFrac: 24})
+	if err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Fatalf("expected unknown-strategy error, got %v", err)
+	}
+}
+
+// TestEveryStrategyMeetsBudget: every registered strategy returns a
+// feasible assignment whose cost is no worse than the uniform baseline,
+// with the graph left in the reported state.
+func TestEveryStrategyMeetsBudget(t *testing.T) {
+	for _, name := range Strategies() {
+		for _, graph := range []string{"two-stage", "dwt"} {
+			g, opt := goldenGraph(t, graph)
+			res, err := RunStrategy(g, name, opt)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, graph, err)
+			}
+			if res.Power > opt.Budget {
+				t.Errorf("%s on %s: power %g over budget %g", name, graph, res.Power, opt.Budget)
+			}
+			if res.Cost > res.UniformCost {
+				t.Errorf("%s on %s: cost %g worse than uniform %g", name, graph, res.Cost, res.UniformCost)
+			}
+			for src, f := range res.Fracs {
+				if f < opt.MinFrac || f > opt.MaxFrac {
+					t.Errorf("%s on %s: %s width %d outside [%d, %d]", name, graph, src, f, opt.MinFrac, opt.MaxFrac)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridNoWorseThanAscent: the trim phase can only remove bits, so the
+// hybrid result must cost at most the ascent result on the same problem.
+func TestHybridNoWorseThanAscent(t *testing.T) {
+	for _, graph := range []string{"two-stage", "dwt"} {
+		ga, opt := goldenGraph(t, graph)
+		asc, err := RunStrategy(ga, "ascent", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh, _ := goldenGraph(t, graph)
+		hyb, err := RunStrategy(gh, "hybrid", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hyb.Cost > asc.Cost {
+			t.Errorf("%s: hybrid cost %g exceeds ascent cost %g", graph, hyb.Cost, asc.Cost)
+		}
+	}
+}
+
+// TestAnnealDeterminism: a fixed seed must give an identical result at any
+// worker-pool width, and repeated runs at the same width must agree.
+func TestAnnealDeterminism(t *testing.T) {
+	var ref *Result
+	for _, workers := range []int{1, 1, 2, 8} {
+		g, opt := goldenGraph(t, "dwt")
+		opt.Workers = workers
+		opt.Seed = 42
+		res, err := RunStrategy(g, "anneal", opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Fracs, ref.Fracs) {
+			t.Fatalf("workers=%d: fracs %v diverge from workers=1 %v", workers, res.Fracs, ref.Fracs)
+		}
+		if res.Power != ref.Power || res.Cost != ref.Cost || res.Evaluations != ref.Evaluations {
+			t.Fatalf("workers=%d: result %+v diverges from %+v", workers, res, ref)
+		}
+	}
+}
+
+// TestAnnealSeedDefaultsAndVariation: Seed <= 0 behaves as Seed 1, and the
+// evaluation count is seed-independent (rounds and proposal sizes are
+// fixed; only which moves are proposed varies).
+func TestAnnealSeedDefaultsAndVariation(t *testing.T) {
+	run := func(seed int64) *Result {
+		g, opt := goldenGraph(t, "two-stage")
+		opt.Seed = seed
+		res, err := RunStrategy(g, "anneal", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	zero, one := run(0), run(1)
+	if !reflect.DeepEqual(zero.Fracs, one.Fracs) || zero.Power != one.Power {
+		t.Fatalf("Seed 0 result %+v differs from Seed 1 %+v", zero, one)
+	}
+	if other := run(7); other.Evaluations != one.Evaluations {
+		t.Fatalf("oracle-call count depends on seed: %d vs %d", other.Evaluations, one.Evaluations)
+	}
+}
+
+// TestDegenerateWidthRange: MinFrac == MaxFrac passes validation, so every
+// strategy must return the only possible assignment without stepping
+// outside the bounds (the anneal proposal fallback once could).
+func TestDegenerateWidthRange(t *testing.T) {
+	for _, name := range Strategies() {
+		g := buildTwoStage(t)
+		res, err := RunStrategy(g, name, Options{Budget: 1e-3, MinFrac: 12, MaxFrac: 12})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for src, f := range res.Fracs {
+			if f != 12 {
+				t.Errorf("%s: %s width %d, want 12", name, src, f)
+			}
+		}
+	}
+}

@@ -2,17 +2,23 @@
 // fixed-point refinement loop. A word-length optimizer assigns fractional
 // bits to every quantization-noise source so that the output noise power
 // meets a budget at minimum hardware cost, using one of the analytical
-// evaluators from package core as its accuracy oracle. Because the greedy
-// search evaluates the system hundreds of times, the 3-5 orders of
+// evaluators from package core as its accuracy oracle. Because every search
+// procedure evaluates the system hundreds of times, the 3-5 orders of
 // magnitude between analytical estimation and Monte-Carlo simulation
 // (Fig. 6) is the difference between milliseconds and days — and because
-// the candidate moves of one greedy step are independent, they are scored
+// the candidate moves of one search step are independent, they are scored
 // concurrently through core.BatchEvaluator when the oracle supports it.
+//
+// The search procedures themselves are pluggable: each one implements
+// Strategy and registers itself under a stable name (see strategy.go).
+// Four ship with the package — the greedy max-minus-one descent
+// ("descent", also reachable as Optimize), the classical min-plus-one
+// ascent ("ascent", OptimizeAscent), a hybrid climb-then-trim search
+// ("hybrid"), and a seeded simulated-annealing search ("anneal").
 package wlopt
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/sfg"
@@ -32,16 +38,32 @@ type Options struct {
 	// method with 256 bins, plan-cached and batch-parallel (core.Engine).
 	Evaluator core.Evaluator
 	// Workers bounds the number of concurrent candidate evaluations per
-	// greedy step when the default engine is used; <= 0 selects
+	// search step when the default engine is used; <= 0 selects
 	// runtime.GOMAXPROCS(0). The optimization result is identical for
 	// every Workers value — only wall-clock time changes. A caller-
 	// provided Evaluator manages its own parallelism (batch-capable
 	// evaluators are fanned out; plain evaluators run serially).
 	Workers int
+	// Seed seeds the randomized strategies ("anneal"); <= 0 selects 1.
+	// A fixed seed makes those strategies fully deterministic at any
+	// Workers value.
+	Seed int64
+	// AnnealRounds bounds the annealing strategy's proposal rounds;
+	// <= 0 selects a default scaled to the source count.
+	AnnealRounds int
+}
+
+func (opt Options) seed() int64 {
+	if opt.Seed <= 0 {
+		return 1
+	}
+	return opt.Seed
 }
 
 // Result reports the optimized assignment.
 type Result struct {
+	// Strategy names the search procedure that produced the result.
+	Strategy string
 	// Fracs is the chosen fractional width per source name.
 	Fracs map[string]int
 	// Power is the evaluated output noise power of the assignment.
@@ -58,32 +80,62 @@ type Result struct {
 	UniformCost float64
 }
 
-// oracle adapts the configured Evaluator to assignment-based scoring: a
-// batch-capable evaluator scores hypothetical assignments without touching
-// the graph (and in parallel); a plain evaluator falls back to serial
-// mutate-evaluate-restore.
-type oracle struct {
+// Oracle is the strategy-facing view of the accuracy oracle: it scores
+// hypothetical width assignments against the graph under optimization,
+// fanning independent candidates across the evaluator's worker pool when
+// the evaluator is batch-capable, and counts every call. Strategies receive
+// an Oracle from RunStrategy and must route all scoring through it so
+// Result.Evaluations stays honest.
+type Oracle struct {
 	g           *sfg.Graph
+	sources     []sfg.NodeID
 	ev          core.Evaluator
 	batch       core.BatchEvaluator
+	weight      func(string) float64
 	evaluations int
 }
 
-func newOracle(g *sfg.Graph, opt Options) *oracle {
+func newOracle(g *sfg.Graph, opt Options) *Oracle {
 	ev := opt.Evaluator
 	if ev == nil {
 		ev = core.NewEngine(256, opt.Workers)
 	}
-	o := &oracle{g: g, ev: ev}
+	o := &Oracle{g: g, sources: g.NoiseSources(), ev: ev, weight: weightFn(opt)}
 	if b, ok := ev.(core.BatchEvaluator); ok {
 		o.batch = b
 	}
 	return o
 }
 
-// powers scores assignments, in order; independent candidates fan out
-// across the evaluator's worker pool when it is batch-capable.
-func (o *oracle) powers(as []core.Assignment) ([]float64, error) {
+// Graph returns the graph under optimization. Strategies that mutate it
+// (core.Assignment.Apply) own the final state: the graph is left at
+// whatever assignment the strategy last applied.
+func (o *Oracle) Graph() *sfg.Graph { return o.g }
+
+// Sources lists the noise-source node IDs of the graph, in graph order.
+func (o *Oracle) Sources() []sfg.NodeID { return o.sources }
+
+// Weight returns the configured cost-per-bit weight of a source node.
+func (o *Oracle) Weight(id sfg.NodeID) float64 {
+	return o.weight(o.g.Node(id).Noise.Name)
+}
+
+// Cost computes the weighted bit total of an assignment.
+func (o *Oracle) Cost(a core.Assignment) float64 {
+	var total float64
+	for _, id := range o.sources {
+		total += o.Weight(id) * float64(a[id])
+	}
+	return total
+}
+
+// Evaluations reports the number of oracle calls so far.
+func (o *Oracle) Evaluations() int { return o.evaluations }
+
+// Powers scores assignments, in order; independent candidates fan out
+// across the evaluator's worker pool when it is batch-capable. The returned
+// powers are identical for every pool width.
+func (o *Oracle) Powers(as []core.Assignment) ([]float64, error) {
 	o.evaluations += len(as)
 	out := make([]float64, len(as))
 	if o.batch != nil {
@@ -109,25 +161,57 @@ func (o *oracle) powers(as []core.Assignment) ([]float64, error) {
 	return out, nil
 }
 
-// power scores one assignment.
-func (o *oracle) power(a core.Assignment) (float64, error) {
-	ps, err := o.powers([]core.Assignment{a})
+// Power scores one assignment.
+func (o *Oracle) Power(a core.Assignment) (float64, error) {
+	ps, err := o.Powers([]core.Assignment{a})
 	if err != nil {
 		return 0, err
 	}
 	return ps[0], nil
 }
 
-// evaluateGraph scores the graph's current widths directly through the
+// EvaluateGraph scores the graph's current widths directly through the
 // underlying evaluator — used for the final reported power so that the
 // result always matches an independent Evaluate of the mutated graph.
-func (o *oracle) evaluateGraph() (float64, error) {
+func (o *Oracle) EvaluateGraph() (float64, error) {
 	o.evaluations++
 	r, err := o.ev.Evaluate(o.g)
 	if err != nil {
 		return 0, err
 	}
 	return r.Power, nil
+}
+
+// requireFeasible errors unless the all-MaxFrac assignment meets the
+// budget — the shared precondition of every search direction.
+func (o *Oracle) requireFeasible(opt Options) error {
+	p, err := o.Power(core.UniformAssignment(o.sources, opt.MaxFrac))
+	if err != nil {
+		return err
+	}
+	if p > opt.Budget {
+		return fmt.Errorf("wlopt: budget %g unreachable even at %d fractional bits (power %g)",
+			opt.Budget, opt.MaxFrac, p)
+	}
+	return nil
+}
+
+// fillFromGraph records the graph's current source widths and their
+// weighted cost into res.
+func (o *Oracle) fillFromGraph(res *Result) {
+	for _, id := range o.sources {
+		n := o.g.Node(id)
+		res.Fracs[n.Noise.Name] = n.Noise.Frac
+		res.Cost += o.weight(n.Noise.Name) * float64(n.Noise.Frac)
+	}
+}
+
+// fillUniform records the uniform-baseline comparison columns into res.
+func (o *Oracle) fillUniform(res *Result, frac int) {
+	res.UniformFrac = frac
+	for _, id := range o.sources {
+		res.UniformCost += o.Weight(id) * float64(frac)
+	}
 }
 
 func checkOptions(opt Options) error {
@@ -152,20 +236,20 @@ func weightFn(opt Options) func(string) float64 {
 	}
 }
 
-// uniformBaseline finds the smallest uniform width meeting the budget,
+// UniformBaseline finds the smallest uniform width meeting the budget,
 // scanning downward from MaxFrac-1 and stopping at the first infeasible
 // width like the serial scan — but scoring a small chunk of widths per
 // oracle round so the batch evaluator can overlap them. The chunk size is
 // fixed, so the oracle-call count does not depend on Options.Workers.
-func uniformBaseline(orc *oracle, sources []sfg.NodeID, opt Options) (int, error) {
+func UniformBaseline(o *Oracle, opt Options) (int, error) {
 	const chunk = 4
 	best := opt.MaxFrac
 	for hi := opt.MaxFrac - 1; hi >= opt.MinFrac; hi -= chunk {
 		var widths []core.Assignment
 		for f := hi; f >= opt.MinFrac && f > hi-chunk; f-- {
-			widths = append(widths, core.UniformAssignment(sources, f))
+			widths = append(widths, core.UniformAssignment(o.sources, f))
 		}
-		ps, err := orc.powers(widths)
+		ps, err := o.Powers(widths)
 		if err != nil {
 			return 0, err
 		}
@@ -177,107 +261,4 @@ func uniformBaseline(orc *oracle, sources []sfg.NodeID, opt Options) (int, error
 		}
 	}
 	return best, nil
-}
-
-// Optimize runs a greedy max-minus-one descent: starting from MaxFrac
-// everywhere (which must meet the budget), it repeatedly removes one bit
-// from the source whose removal keeps the budget satisfied while freeing
-// the most cost, until no single-bit removal is feasible. All candidate
-// removals of one step are scored concurrently (see Options.Workers). The
-// graph's source widths are left at the optimized assignment.
-func Optimize(g *sfg.Graph, opt Options) (*Result, error) {
-	if err := checkOptions(opt); err != nil {
-		return nil, err
-	}
-	sources := g.NoiseSources()
-	if len(sources) == 0 {
-		return nil, fmt.Errorf("wlopt: graph has no noise sources")
-	}
-	orc := newOracle(g, opt)
-	weight := weightFn(opt)
-	res := &Result{Fracs: map[string]int{}}
-
-	// Feasibility at MaxFrac.
-	p, err := orc.power(core.UniformAssignment(sources, opt.MaxFrac))
-	if err != nil {
-		return nil, err
-	}
-	if p > opt.Budget {
-		return nil, fmt.Errorf("wlopt: budget %g unreachable even at %d fractional bits (power %g)",
-			opt.Budget, opt.MaxFrac, p)
-	}
-
-	// Uniform baseline: smallest uniform width meeting the budget.
-	res.UniformFrac, err = uniformBaseline(orc, sources, opt)
-	if err != nil {
-		return nil, err
-	}
-	for _, id := range sources {
-		res.UniformCost += weight(g.Node(id).Noise.Name) * float64(res.UniformFrac)
-	}
-
-	// Greedy descent from MaxFrac. Every step scores all single-bit
-	// removals as one batch of independent assignments.
-	cur := core.UniformAssignment(sources, opt.MaxFrac)
-	for {
-		type cand struct {
-			id    sfg.NodeID
-			a     core.Assignment
-			power float64
-			gain  float64
-		}
-		var cands []cand
-		var batch []core.Assignment
-		for _, id := range sources {
-			if cur[id] <= opt.MinFrac {
-				continue
-			}
-			a := cur.Clone()
-			a[id]--
-			cands = append(cands, cand{id: id, a: a, gain: weight(g.Node(id).Noise.Name)})
-			batch = append(batch, a)
-		}
-		if len(cands) == 0 {
-			break
-		}
-		ps, err := orc.powers(batch)
-		if err != nil {
-			return nil, err
-		}
-		feasible := cands[:0]
-		for i := range cands {
-			cands[i].power = ps[i]
-			if ps[i] <= opt.Budget {
-				feasible = append(feasible, cands[i])
-			}
-		}
-		if len(feasible) == 0 {
-			break
-		}
-		// Prefer the largest cost gain; break ties toward the smallest
-		// resulting power (keeps slack for later removals). The stable
-		// sort keeps source order as the final tie-break, so the outcome
-		// is deterministic for any worker count.
-		sort.SliceStable(feasible, func(i, j int) bool {
-			if feasible[i].gain != feasible[j].gain {
-				return feasible[i].gain > feasible[j].gain
-			}
-			return feasible[i].power < feasible[j].power
-		})
-		cur = feasible[0].a
-	}
-
-	cur.Apply(g)
-	final, err := orc.evaluateGraph()
-	if err != nil {
-		return nil, err
-	}
-	res.Power = final
-	res.Evaluations = orc.evaluations
-	for _, id := range sources {
-		n := g.Node(id)
-		res.Fracs[n.Noise.Name] = n.Noise.Frac
-		res.Cost += weight(n.Noise.Name) * float64(n.Noise.Frac)
-	}
-	return res, nil
 }
