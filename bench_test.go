@@ -313,6 +313,56 @@ func BenchmarkWLOpt(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateMoves measures the incremental oracle path: one greedy
+// step's worth of single-width candidate moves scored against a shared
+// base state through the transfer cache's delta evaluation, compared with
+// the same candidates as materialized assignments through EvaluateBatch.
+func BenchmarkEvaluateMoves(b *testing.B) {
+	g, err := systems.NewDWT().Graph(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.AssignmentOf(g)
+	var moves []core.Move
+	var batch []core.Assignment
+	for _, id := range g.NoiseSources() {
+		moves = append(moves, core.Move{Source: id, Frac: base[id] - 1})
+		a := base.Clone()
+		a[id]--
+		batch = append(batch, a)
+	}
+	eng := core.NewEngine(1024, 1)
+	want, err := eng.EvaluateBatch(g, batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := eng.EvaluateMoves(g, base, moves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Power != want[i].Power {
+			b.Fatalf("move %d power %g diverges from batch %g", i, got[i].Power, want[i].Power)
+		}
+	}
+	b.Run("moves", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.EvaluateMoves(g, base, moves); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.EvaluateBatch(g, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEvaluateBatch measures raw oracle throughput: one greedy step's
 // worth of candidate assignments scored through the engine at increasing
 // pool widths.

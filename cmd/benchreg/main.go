@@ -8,18 +8,24 @@
 //	benchreg                                  # short-mode wlopt+engine benches -> BENCH_wlopt.json
 //	benchreg -bench 'Benchmark.*' -count 5 -out BENCH_all.json
 //	benchreg -full                            # full-size benches (no -short)
-//	benchreg -check BENCH_wlopt.json          # CI gate: fail on >30 % median regression
+//	benchreg -check BENCH_wlopt.json          # CI gate: fail on >30 % ns/op or >10 % allocs/op median regression
 //
-// The file records every run of every benchmark plus per-benchmark medians;
-// compare two files with any JSON diff to spot regressions — or pass
-// -check with a committed baseline file to turn the comparison into a CI
-// gate: the run fails (exit 1) if any benchmark present in both files
-// regresses its median ns/op by more than -maxregress percent. Benchmarks
-// that exist on only one side are reported but never fail the gate, so
-// adding or retiring a benchmark does not require regenerating the
-// baseline in the same commit. When the baseline was recorded on different
-// hardware (goos/goarch/cpu mismatch) absolute ns/op are not comparable,
-// so the gate reports regressions but exits 0 unless -strict-host is set.
+// The file records every run of every benchmark plus per-benchmark medians
+// of ns/op and allocs/op; compare two files with any JSON diff to spot
+// regressions — or pass -check with a committed baseline file to turn the
+// comparison into a CI gate: the run fails (exit 1) if any benchmark
+// present in both files regresses its median ns/op by more than
+// -maxregress percent or its median allocs/op by more than
+// -maxallocregress percent. Benchmarks that exist on only one side are
+// reported but never fail the gate, so adding or retiring a benchmark does
+// not require regenerating the baseline in the same commit. When the
+// baseline was recorded on different hardware (goos/goarch/cpu mismatch)
+// absolute ns/op are not comparable, so the timing gate reports
+// regressions but exits 0 unless -strict-host is set; allocation counts
+// don't depend on clock speed, so the allocs/op gate enforces across
+// hardware — but per-P pools make them GOMAXPROCS-sensitive, so it is
+// advisory when the baseline's GOMAXPROCS differs (again unless
+// -strict-host).
 package main
 
 import (
@@ -46,9 +52,10 @@ type BenchRun struct {
 
 // BenchRecord aggregates the runs of one benchmark.
 type BenchRecord struct {
-	Name          string     `json:"name"`
-	Runs          []BenchRun `json:"runs"`
-	MedianNsPerOp float64    `json:"ns_per_op_median"`
+	Name              string     `json:"name"`
+	Runs              []BenchRun `json:"runs"`
+	MedianNsPerOp     float64    `json:"ns_per_op_median"`
+	MedianAllocsPerOp float64    `json:"allocs_per_op_median"`
 }
 
 // Report is the top-level JSON document.
@@ -68,15 +75,16 @@ type Report struct {
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEngineEvaluate|BenchmarkFig6_Estimation",
+		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEvaluateMoves|BenchmarkEngineEvaluate|BenchmarkFig6_Estimation",
 			"benchmark regex passed to go test -bench")
-		count      = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")
-		pkgs       = flag.String("pkgs", "./...", "package pattern to bench")
-		out        = flag.String("out", "BENCH_wlopt.json", "output JSON path ('' to skip writing)")
-		full       = flag.Bool("full", false, "run full-size benches (omit -short)")
-		check      = flag.String("check", "", "baseline JSON to gate against: exit 1 if any shared benchmark's median regresses more than -maxregress percent")
-		maxRegress = flag.Float64("maxregress", 30, "maximum tolerated median regression, in percent, for -check")
-		strictHost = flag.Bool("strict-host", false, "fail the -check gate even when the baseline was recorded on different hardware (default: advisory on host mismatch, since absolute ns/op are not comparable across machines)")
+		count           = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")
+		pkgs            = flag.String("pkgs", "./...", "package pattern to bench")
+		out             = flag.String("out", "BENCH_wlopt.json", "output JSON path ('' to skip writing)")
+		full            = flag.Bool("full", false, "run full-size benches (omit -short)")
+		check           = flag.String("check", "", "baseline JSON to gate against: exit 1 if any shared benchmark's median ns/op or allocs/op regresses beyond its threshold")
+		maxRegress      = flag.Float64("maxregress", 30, "maximum tolerated ns/op median regression, in percent, for -check")
+		maxAllocRegress = flag.Float64("maxallocregress", 10, "maximum tolerated allocs/op median regression, in percent, for -check (allocation counts are deterministic, so the budget is tight; unlike ns/op this gate holds across differing hardware)")
+		strictHost      = flag.Bool("strict-host", false, "fail the -check gate even when the baseline was recorded on different hardware or at different GOMAXPROCS (default: ns/op advisory on host mismatch, allocs/op advisory on GOMAXPROCS mismatch)")
 	)
 	flag.Parse()
 
@@ -152,30 +160,73 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreg: WARNING: baseline host (%s/%s %q) differs from this host (%s/%s %q); absolute ns/op medians are not comparable across hardware\n",
 				baseline.GOOS, baseline.GOARCH, baseline.CPU, report.GOOS, report.GOARCH, report.CPU)
 		}
+		// Allocation counts don't depend on clock speed, but they do
+		// depend on parallelism: per-P sync.Pool caches and worker fan-out
+		// shift allocs/op with GOMAXPROCS. The alloc gate therefore
+		// enforces only when the baseline was recorded at the same
+		// GOMAXPROCS (advisory otherwise, like the timing gate on host
+		// mismatch).
+		procsMismatch := baseline.GOMAXPROCS != report.GOMAXPROCS
+		if procsMismatch {
+			fmt.Fprintf(os.Stderr, "benchreg: WARNING: baseline GOMAXPROCS %d differs from this run's %d; allocs/op medians of pooled/fanned benchmarks are not comparable\n",
+				baseline.GOMAXPROCS, report.GOMAXPROCS)
+		}
 		deltas := compareMedians(baseline.Benchmarks, records)
-		failed := false
-		fmt.Printf("\nregression gate vs %s (threshold +%g%%):\n", *check, *maxRegress)
+		nsFailed, allocFailed := false, false
+		fmt.Printf("\nregression gate vs %s (ns/op +%g%%, allocs/op +%g%%):\n", *check, *maxRegress, *maxAllocRegress)
 		for _, d := range deltas {
+			var regressed []string
+			skipped := d.BaselineNs == 0 || d.CurrentNs == 0
+			if !skipped && d.Percent > *maxRegress {
+				regressed = append(regressed, "ns/op")
+				nsFailed = true
+			}
+			// The alloc gate is independent: counts are deterministic and
+			// portable, so it enforces even across differing hardware. A
+			// zero baseline median (pre-alloc-tracking files, or a genuinely
+			// allocation-free benchmark) cannot express a percentage budget
+			// and is skipped.
+			if d.BaselineAllocs > 0 && d.CurrentAllocs > 0 && d.AllocPercent > *maxAllocRegress {
+				regressed = append(regressed, "allocs/op")
+				allocFailed = true
+			}
 			status := "ok"
 			switch {
-			case d.BaselineNs == 0 || d.CurrentNs == 0:
+			case len(regressed) > 0:
+				status = "REGRESSED (" + strings.Join(regressed, ", ") + ")"
+			case skipped:
 				status = "skipped (not in both files)"
-			case d.Percent > *maxRegress:
-				status = "REGRESSED"
-				failed = true
 			}
-			fmt.Printf("%-50s %14.0f -> %14.0f ns/op %+7.1f%%  %s\n",
-				d.Name, d.BaselineNs, d.CurrentNs, d.Percent, status)
+			fmt.Printf("%-50s %14.0f -> %14.0f ns/op %+7.1f%%  %8.0f -> %8.0f allocs %+7.1f%%  %s\n",
+				d.Name, d.BaselineNs, d.CurrentNs, d.Percent,
+				d.BaselineAllocs, d.CurrentAllocs, d.AllocPercent, status)
+		}
+		// Each gate independently either enforces or demotes to advisory:
+		// cross-hardware timing comparisons regress spuriously (ns/op is
+		// advisory on host mismatch), and per-P pools shift allocation
+		// counts with parallelism (allocs/op is advisory on GOMAXPROCS
+		// mismatch) — unless the caller opted into -strict-host. An
+		// advisory failure on one axis must not mask an enforced failure
+		// on the other.
+		nsEnforced := nsFailed && (!hostMismatch || *strictHost)
+		allocEnforced := allocFailed && (!procsMismatch || *strictHost)
+		if nsFailed && !nsEnforced {
+			fmt.Fprintf(os.Stderr, "benchreg: regression beyond %g%% but hosts differ — advisory only (pass -strict-host to enforce, or regenerate the baseline on this host)\n", *maxRegress)
+		}
+		if allocFailed && !allocEnforced {
+			fmt.Fprintf(os.Stderr, "benchreg: allocs/op regression beyond %g%% but GOMAXPROCS differs — advisory only (pass -strict-host to enforce, or regenerate the baseline at this parallelism)\n", *maxAllocRegress)
 		}
 		switch {
-		case failed && hostMismatch && !*strictHost:
-			// Cross-hardware comparisons regress spuriously; the gate is
-			// advisory unless the caller opted into -strict-host.
-			fmt.Fprintf(os.Stderr, "benchreg: regression beyond %g%% but hosts differ — advisory only (pass -strict-host to enforce, or regenerate the baseline on this host)\n", *maxRegress)
-			fmt.Printf("gate passed (advisory: host mismatch)\n")
-		case failed:
-			fmt.Fprintf(os.Stderr, "benchreg: median regression beyond %g%% — failing the gate\n", *maxRegress)
+		case nsEnforced || allocEnforced:
+			if nsEnforced {
+				fmt.Fprintf(os.Stderr, "benchreg: median regression beyond %g%% — failing the gate\n", *maxRegress)
+			}
+			if allocEnforced {
+				fmt.Fprintf(os.Stderr, "benchreg: allocs/op median regression beyond %g%% — failing the gate\n", *maxAllocRegress)
+			}
 			os.Exit(1)
+		case nsFailed || allocFailed:
+			fmt.Printf("gate passed (advisory regressions noted above)\n")
 		default:
 			fmt.Printf("gate passed\n")
 		}
@@ -198,34 +249,43 @@ func loadReport(path string) (*Report, error) {
 // medianDelta is one benchmark's baseline-to-current movement. A zero
 // BaselineNs or CurrentNs marks a benchmark present on only one side.
 type medianDelta struct {
-	Name       string
-	BaselineNs float64
-	CurrentNs  float64
-	Percent    float64 // positive = slower than baseline
+	Name           string
+	BaselineNs     float64
+	CurrentNs      float64
+	Percent        float64 // positive = slower than baseline
+	BaselineAllocs float64
+	CurrentAllocs  float64
+	AllocPercent   float64 // positive = more allocations than baseline
 }
 
 // compareMedians pairs baseline and current records by name, in current
-// order followed by baseline-only leftovers, and computes the median ns/op
-// movement for benchmarks present in both.
+// order followed by baseline-only leftovers, and computes the median
+// ns/op and allocs/op movements for benchmarks present in both.
 func compareMedians(baseline, current []BenchRecord) []medianDelta {
-	base := make(map[string]float64, len(baseline))
+	base := make(map[string]BenchRecord, len(baseline))
 	for _, r := range baseline {
-		base[r.Name] = r.MedianNsPerOp
+		base[r.Name] = r
 	}
 	var out []medianDelta
 	seen := map[string]bool{}
 	for _, r := range current {
 		seen[r.Name] = true
-		d := medianDelta{Name: r.Name, CurrentNs: r.MedianNsPerOp}
-		if b, ok := base[r.Name]; ok && b > 0 {
-			d.BaselineNs = b
-			d.Percent = (r.MedianNsPerOp - b) / b * 100
+		d := medianDelta{Name: r.Name, CurrentNs: r.MedianNsPerOp, CurrentAllocs: r.MedianAllocsPerOp}
+		if b, ok := base[r.Name]; ok {
+			if b.MedianNsPerOp > 0 {
+				d.BaselineNs = b.MedianNsPerOp
+				d.Percent = (r.MedianNsPerOp - b.MedianNsPerOp) / b.MedianNsPerOp * 100
+			}
+			if b.MedianAllocsPerOp > 0 {
+				d.BaselineAllocs = b.MedianAllocsPerOp
+				d.AllocPercent = (r.MedianAllocsPerOp - b.MedianAllocsPerOp) / b.MedianAllocsPerOp * 100
+			}
 		}
 		out = append(out, d)
 	}
 	for _, r := range baseline {
 		if !seen[r.Name] {
-			out = append(out, medianDelta{Name: r.Name, BaselineNs: r.MedianNsPerOp})
+			out = append(out, medianDelta{Name: r.Name, BaselineNs: r.MedianNsPerOp, BaselineAllocs: r.MedianAllocsPerOp})
 		}
 	}
 	return out
@@ -300,24 +360,25 @@ func parseBenchOutput(out string) []BenchRecord {
 	records := make([]BenchRecord, 0, len(order))
 	for _, name := range order {
 		g := groups[name]
-		g.MedianNsPerOp = medianNs(g.Runs)
+		g.MedianNsPerOp = median(g.Runs, func(r BenchRun) float64 { return r.NsPerOp })
+		g.MedianAllocsPerOp = median(g.Runs, func(r BenchRun) float64 { return r.AllocsPerOp })
 		records = append(records, *g)
 	}
 	return records
 }
 
-func medianNs(runs []BenchRun) float64 {
-	ns := make([]float64, len(runs))
+func median(runs []BenchRun, field func(BenchRun) float64) float64 {
+	vs := make([]float64, len(runs))
 	for i, r := range runs {
-		ns[i] = r.NsPerOp
+		vs[i] = field(r)
 	}
-	sort.Float64s(ns)
-	n := len(ns)
+	sort.Float64s(vs)
+	n := len(vs)
 	if n == 0 {
 		return 0
 	}
 	if n%2 == 1 {
-		return ns[n/2]
+		return vs[n/2]
 	}
-	return (ns[n/2-1] + ns[n/2]) / 2
+	return (vs[n/2-1] + vs[n/2]) / 2
 }

@@ -37,6 +37,9 @@ func TestParseBenchOutput(t *testing.T) {
 	if w1.MedianNsPerOp != 50000000 {
 		t.Fatalf("workers=1 median %g, want 5e7", w1.MedianNsPerOp)
 	}
+	if w1.MedianAllocsPerOp != 5189 {
+		t.Fatalf("workers=1 allocs median %g, want 5189", w1.MedianAllocsPerOp)
+	}
 	w8 := records[1]
 	if w8.MedianNsPerOp != 13000000 {
 		t.Fatalf("workers=8 median %g, want 1.3e7", w8.MedianNsPerOp)
@@ -63,23 +66,24 @@ func TestParseBenchOutputIgnoresGarbage(t *testing.T) {
 
 func TestMedianEven(t *testing.T) {
 	runs := []BenchRun{{NsPerOp: 10}, {NsPerOp: 30}, {NsPerOp: 20}, {NsPerOp: 40}}
-	if m := medianNs(runs); m != 25 {
+	ns := func(r BenchRun) float64 { return r.NsPerOp }
+	if m := median(runs, ns); m != 25 {
 		t.Fatalf("even median %g, want 25", m)
 	}
-	if m := medianNs(nil); m != 0 {
+	if m := median(nil, ns); m != 0 {
 		t.Fatalf("empty median %g, want 0", m)
 	}
 }
 
 func TestCompareMedians(t *testing.T) {
 	baseline := []BenchRecord{
-		{Name: "BenchmarkA", MedianNsPerOp: 100},
+		{Name: "BenchmarkA", MedianNsPerOp: 100, MedianAllocsPerOp: 40},
 		{Name: "BenchmarkB", MedianNsPerOp: 200},
 		{Name: "BenchmarkRetired", MedianNsPerOp: 50},
 	}
 	current := []BenchRecord{
-		{Name: "BenchmarkA", MedianNsPerOp: 150}, // +50 %
-		{Name: "BenchmarkB", MedianNsPerOp: 190}, // -5 %
+		{Name: "BenchmarkA", MedianNsPerOp: 150, MedianAllocsPerOp: 50}, // +50 % ns, +25 % allocs
+		{Name: "BenchmarkB", MedianNsPerOp: 190, MedianAllocsPerOp: 10}, // -5 % ns; baseline has no alloc median
 		{Name: "BenchmarkNew", MedianNsPerOp: 75},
 	}
 	deltas := compareMedians(baseline, current)
@@ -90,11 +94,15 @@ func TestCompareMedians(t *testing.T) {
 	for _, d := range deltas {
 		byName[d.Name] = d
 	}
-	if d := byName["BenchmarkA"]; math.Abs(d.Percent-50) > 1e-9 {
-		t.Fatalf("A percent %g, want +50", d.Percent)
+	if d := byName["BenchmarkA"]; math.Abs(d.Percent-50) > 1e-9 || math.Abs(d.AllocPercent-25) > 1e-9 {
+		t.Fatalf("A deltas %+v, want +50%% ns and +25%% allocs", d)
 	}
 	if d := byName["BenchmarkB"]; math.Abs(d.Percent+5) > 1e-9 {
 		t.Fatalf("B percent %g, want -5", d.Percent)
+	}
+	// A baseline without alloc medians (older schema) cannot gate allocs.
+	if d := byName["BenchmarkB"]; d.BaselineAllocs != 0 || d.AllocPercent != 0 {
+		t.Fatalf("B alloc delta %+v should be skipped", d)
 	}
 	// One-sided benchmarks carry a zero on the missing side and a zero
 	// percent, which the gate treats as skipped.

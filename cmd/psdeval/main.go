@@ -1,11 +1,19 @@
 // Command psdeval evaluates the output quantization-noise power of a
-// fixed-point system described by a JSON spec, using all three analytical
-// methods (proposed PSD, PSD-agnostic, flat) and an optional Monte-Carlo
-// cross-check.
+// fixed-point system described by a JSON spec — or any registry system by
+// name — using all three analytical methods (proposed PSD, PSD-agnostic,
+// flat) and an optional Monte-Carlo cross-check.
 //
 // Usage:
 //
 //	psdeval -spec system.json [-npsd 1024] [-simulate] [-samples 1000000]
+//	psdeval -system dwt97(fig3) [-frac 12] [-mode full|cached|delta]
+//
+// The -mode flag selects the proposed method's evaluation path and makes
+// the transfer-cache speedup measurable from the CLI: "full" forces the
+// per-source propagation, "cached" (default) uses the plan's transfer
+// profiles, and "delta" additionally times the incremental move path
+// (EvaluateMoves) against batch re-evaluation of the same single-width
+// candidates, verifying bit-identical powers.
 //
 // Spec format (blocks are connected by "from" references; "adder" takes a
 // list):
@@ -28,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dsp"
@@ -67,36 +76,83 @@ type systemSpec struct {
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "path to the JSON system spec (required)")
+		specPath = flag.String("spec", "", "path to the JSON system spec (this or -system is required)")
+		sysName  = flag.String("system", "", "evaluate a registry system by name instead of a spec (see -list)")
+		list     = flag.Bool("list", false, "list registry system names and exit")
+		frac     = flag.Int("frac", 12, "uniform fractional width for -system graphs")
+		mode     = flag.String("mode", core.EvalModeCached, "proposed-method evaluation path: full, cached, or delta")
+		reps     = flag.Int("reps", 1, "repetitions of the proposed-method evaluation for the timing readout (raise for stable µs/eval numbers)")
 		npsd     = flag.Int("npsd", 1024, "PSD bins")
 		simulate = flag.Bool("simulate", false, "run a Monte-Carlo cross-check")
 		samples  = flag.Int("samples", 1<<20, "simulation sample count")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
-	if *specPath == "" {
+	if *list {
+		names, err := systems.RegistryNames()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psdeval:", err)
+			os.Exit(1)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if (*specPath == "") == (*sysName == "") {
+		fmt.Fprintln(os.Stderr, "psdeval: exactly one of -spec and -system is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*specPath, *npsd, *simulate, *samples, *seed); err != nil {
+	switch *mode {
+	case core.EvalModeFull, core.EvalModeCached, "delta":
+	default:
+		fmt.Fprintf(os.Stderr, "psdeval: unknown -mode %q (want full, cached, or delta)\n", *mode)
+		os.Exit(2)
+	}
+	if *reps < 1 {
+		*reps = 1
+	}
+	if err := run(*specPath, *sysName, *frac, *mode, *reps, *npsd, *simulate, *samples, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "psdeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath string, npsd int, simulate bool, samples int, seed int64) error {
+// loadGraph materializes the evaluation graph from a spec file or a
+// registry name, returning the graph and its nominal fractional width.
+func loadGraph(specPath, sysName string, frac int) (*sfg.Graph, int, error) {
+	if sysName != "" {
+		reg, err := systems.Registry()
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, sys := range reg {
+			if sys.Name() == sysName {
+				g, err := sys.Graph(frac)
+				return g, frac, err
+			}
+		}
+		names, _ := systems.RegistryNames()
+		return nil, 0, fmt.Errorf("unknown system %q (registry: %v)", sysName, names)
+	}
 	raw, err := os.ReadFile(specPath)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	var spec systemSpec
 	if err := json.Unmarshal(raw, &spec); err != nil {
-		return fmt.Errorf("parsing %s: %w", specPath, err)
+		return nil, 0, fmt.Errorf("parsing %s: %w", specPath, err)
 	}
 	if spec.Frac <= 0 {
 		spec.Frac = 12
 	}
 	g, err := buildGraph(&spec)
+	return g, spec.Frac, err
+}
+
+func run(specPath, sysName string, frac int, mode string, reps, npsd int, simulate bool, samples int, seed int64) error {
+	g, frac, err := loadGraph(specPath, sysName, frac)
 	if err != nil {
 		return err
 	}
@@ -109,16 +165,41 @@ func run(specPath string, npsd int, simulate bool, samples int, seed int64) erro
 	}
 
 	fmt.Printf("system: %d blocks, %d noise sources, d = %d fractional bits\n",
-		len(g.Nodes()), len(g.NoiseSources()), spec.Frac)
+		len(g.Nodes()), len(g.NoiseSources()), frac)
 
-	evals := []core.Evaluator{
-		core.NewPSDEvaluator(npsd),
-		core.NewAgnosticEvaluator(npsd),
+	// The proposed method runs through the plan-cached engine on the
+	// selected path; the plan is built (and, on "full", the transfer cache
+	// bypassed) before timing starts.
+	eng := core.NewEngine(npsd, 1)
+	if mode == core.EvalModeFull {
+		eng.SetFullPropagation(true)
 	}
+	planMode, err := eng.EvalMode(g)
+	if err != nil {
+		return fmt.Errorf("planning: %w", err)
+	}
+	evalStart := time.Now()
+	var psdRes *core.Result
+	for i := 0; i < reps; i++ {
+		if psdRes, err = eng.Evaluate(g); err != nil {
+			return fmt.Errorf("proposed method: %w", err)
+		}
+	}
+	perEval := time.Since(evalStart) / time.Duration(reps)
+	fmt.Printf("%-16s power %.6g  (mean %.4g, variance %.4g)  [mode %s, %s/eval]\n",
+		"psd", psdRes.Power, psdRes.Mean, psdRes.Variance, planMode, perEval.Round(time.Nanosecond))
+	results := map[string]*core.Result{"psd": psdRes}
+
+	if mode == "delta" {
+		if err := demoDelta(eng, g, reps); err != nil {
+			return err
+		}
+	}
+
+	evals := []core.Evaluator{core.NewAgnosticEvaluator(npsd)}
 	if !g.IsMultirate() {
 		evals = append(evals, core.NewFlatEvaluator())
 	}
-	results := map[string]*core.Result{}
 	for _, ev := range evals {
 		res, err := ev.Evaluate(g)
 		if err != nil {
@@ -140,11 +221,56 @@ func run(specPath string, npsd int, simulate bool, samples int, seed int64) erro
 		}
 	}
 	// Per-source breakdown for the proposed method.
-	psdRes := results[core.NewPSDEvaluator(npsd).Name()]
 	fmt.Println("per-source contributions (proposed method):")
 	for _, s := range psdRes.PerSource {
 		fmt.Printf("  %-20s variance %.6g  mean %.4g\n", s.Name, s.Variance, s.Mean)
 	}
+	return nil
+}
+
+// demoDelta times one greedy step's worth of single-width candidates (one
+// bit removed from every source) through the incremental move path versus
+// batch re-evaluation, verifying the results agree bit-for-bit.
+func demoDelta(eng *core.Engine, g *sfg.Graph, reps int) error {
+	base := core.AssignmentOf(g)
+	var moves []core.Move
+	var batch []core.Assignment
+	for _, id := range g.NoiseSources() {
+		f := base[id] - 1
+		if f < 1 {
+			f = 1
+		}
+		moves = append(moves, core.Move{Source: id, Frac: f})
+		a := base.Clone()
+		a[id] = f
+		batch = append(batch, a)
+	}
+	var moved []*core.Result
+	var err error
+	moveStart := time.Now()
+	for i := 0; i < reps; i++ {
+		if moved, err = eng.EvaluateMoves(g, base, moves); err != nil {
+			return fmt.Errorf("delta: %w", err)
+		}
+	}
+	perMoves := time.Since(moveStart) / time.Duration(reps)
+	var batched []*core.Result
+	batchStart := time.Now()
+	for i := 0; i < reps; i++ {
+		if batched, err = eng.EvaluateBatch(g, batch); err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+	}
+	perBatch := time.Since(batchStart) / time.Duration(reps)
+	for i := range moved {
+		if moved[i].Power != batched[i].Power {
+			return fmt.Errorf("delta power %.17g diverges from batch %.17g at move %d",
+				moved[i].Power, batched[i].Power, i)
+		}
+	}
+	speedup := float64(perBatch) / float64(perMoves)
+	fmt.Printf("%-16s %d single-width candidates: %s via EvaluateMoves vs %s batched (%.1fx, bit-identical)\n",
+		"delta", len(moves), perMoves.Round(time.Nanosecond), perBatch.Round(time.Nanosecond), speedup)
 	return nil
 }
 

@@ -27,20 +27,31 @@ func writeSpec(t *testing.T, body string) string {
 
 func TestRunHappyPath(t *testing.T) {
 	p := writeSpec(t, sampleSpec)
-	if err := run(p, 128, true, 20000, 1); err != nil {
+	for _, mode := range []string{"cached", "full", "delta"} {
+		if err := run(p, "", 0, mode, 2, 128, true, 20000, 1); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunRegistrySystem(t *testing.T) {
+	if err := run("", "dwt97(fig3)", 10, "delta", 2, 128, false, 0, 1); err != nil {
 		t.Fatal(err)
+	}
+	if err := run("", "no-such-system", 10, "cached", 1, 128, false, 0, 1); err == nil {
+		t.Fatal("unknown registry system should fail")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/nonexistent/spec.json", 128, false, 0, 0); err == nil {
+	if err := run("/nonexistent/spec.json", "", 0, "cached", 1, 128, false, 0, 0); err == nil {
 		t.Fatal("missing file should fail")
 	}
 }
 
 func TestRunBadJSON(t *testing.T) {
 	p := writeSpec(t, "{not json")
-	if err := run(p, 128, false, 0, 0); err == nil {
+	if err := run(p, "", 0, "cached", 1, 128, false, 0, 0); err == nil {
 		t.Fatal("bad JSON should fail")
 	}
 }

@@ -61,6 +61,25 @@ type BatchEvaluator interface {
 	EvaluateBatch(g *sfg.Graph, as []Assignment) ([]*Result, error)
 }
 
+// Move is a single-source width change against a base assignment — the
+// unit of work of every greedy word-length search step.
+type Move struct {
+	// Source is the noise-source node whose width changes.
+	Source sfg.NodeID
+	// Frac is the new fractional width.
+	Frac int
+}
+
+// MoveEvaluator is implemented by evaluators with an incremental path for
+// single-source width changes. EvaluateMoves scores each move applied to
+// base independently (moves do not compound), returning results in move
+// order that are bit-identical to EvaluateBatch on the equivalently moved
+// assignments.
+type MoveEvaluator interface {
+	BatchEvaluator
+	EvaluateMoves(g *sfg.Graph, base Assignment, moves []Move) ([]*Result, error)
+}
+
 // Engine is the throughput-oriented form of the proposed PSD method: a
 // concurrency-safe evaluator that caches per-graph state (validated
 // topology snapshot, per-node frequency responses, propagation scratch)
@@ -74,17 +93,37 @@ type BatchEvaluator interface {
 // the point), but after any structural change call Invalidate. During
 // EvaluateBatch the graph must not be mutated by anyone.
 //
-// The cache retains one plan (and pins the graph) per evaluated graph for
-// the engine's lifetime; there is no automatic eviction. For an unbounded
-// stream of throwaway graphs, use a fresh engine per graph or Invalidate
-// each graph when done with it.
+// The cache holds at most PlanCacheCap plans (default 8) and evicts the
+// least-recently-used plan on overflow, so an unbounded stream of throwaway
+// graphs cannot grow memory without bound; an evicted graph simply re-plans
+// on its next evaluation.
+//
+// Each plan additionally carries the transfer cache (see transfer.go): a
+// per-source unit transfer profile that turns evaluation into a fused
+// multiply-accumulate and single-width moves (EvaluateMoves) into
+// incremental leaf swaps, with the full per-source propagation retained as
+// the fallback for topologies that fail the linearity probe (and available
+// explicitly via SetFullPropagation).
 type Engine struct {
-	npsd    int
-	workers int
+	npsd      int
+	workers   int
+	forceFull bool
 
-	mu    sync.Mutex
-	plans map[*sfg.Graph]*graphPlan
+	mu      sync.Mutex
+	plans   map[*sfg.Graph]*planEntry
+	planCap int
+	tick    uint64
 }
+
+// planEntry pairs a cached plan with its recency stamp for LRU eviction.
+type planEntry struct {
+	plan    *graphPlan
+	lastUse uint64
+}
+
+// DefaultPlanCacheCap is the default number of per-graph plans an engine
+// retains before evicting the least recently used one.
+const DefaultPlanCacheCap = 8
 
 // NewEngine returns an engine evaluating on npsd bins with the given worker
 // pool width; workers <= 0 selects runtime.GOMAXPROCS(0).
@@ -92,7 +131,56 @@ func NewEngine(npsd, workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{npsd: npsd, workers: workers, plans: make(map[*sfg.Graph]*graphPlan)}
+	return &Engine{
+		npsd:    npsd,
+		workers: workers,
+		plans:   make(map[*sfg.Graph]*planEntry),
+		planCap: DefaultPlanCacheCap,
+	}
+}
+
+// SetPlanCacheCap bounds the number of cached plans; n < 1 is clamped to 1.
+// Shrinking below the current cache size evicts least-recently-used plans
+// immediately.
+func (e *Engine) SetPlanCacheCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.planCap = n
+	for len(e.plans) > e.planCap {
+		e.evictLRULocked()
+	}
+}
+
+// PlanCacheLen reports the number of plans currently cached.
+func (e *Engine) PlanCacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.plans)
+}
+
+// SetFullPropagation forces plans built afterwards onto the full
+// per-source propagation path, bypassing the transfer cache — the
+// reference mode for equivalence testing and A/B timing. It does not
+// rebuild plans already cached; call Invalidate (or set the mode before
+// the first evaluation) for a clean switch.
+func (e *Engine) SetFullPropagation(force bool) {
+	e.mu.Lock()
+	e.forceFull = force
+	e.mu.Unlock()
+}
+
+// EvalMode reports which evaluation path the plan for g settled on —
+// EvalModeCached (transfer cache validated) or EvalModeFull (forced, or
+// the topology failed the linearity probe) — planning g if needed.
+func (e *Engine) EvalMode(g *sfg.Graph) (string, error) {
+	p, err := e.plan(g)
+	if err != nil {
+		return "", err
+	}
+	return p.mode(), nil
 }
 
 // Name implements Evaluator.
@@ -116,15 +204,34 @@ func (e *Engine) Invalidate(g *sfg.Graph) {
 func (e *Engine) plan(g *sfg.Graph) (*graphPlan, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if p, ok := e.plans[g]; ok {
-		return p, nil
+	e.tick++
+	if en, ok := e.plans[g]; ok {
+		en.lastUse = e.tick
+		return en.plan, nil
 	}
-	p, err := newGraphPlan(g, e.npsd)
+	p, err := newGraphPlanMode(g, e.npsd, e.forceFull)
 	if err != nil {
 		return nil, err
 	}
-	e.plans[g] = p
+	for len(e.plans) >= e.planCap {
+		e.evictLRULocked()
+	}
+	e.plans[g] = &planEntry{plan: p, lastUse: e.tick}
 	return p, nil
+}
+
+// evictLRULocked drops the least-recently-used plan; e.mu must be held.
+func (e *Engine) evictLRULocked() {
+	var victim *sfg.Graph
+	var oldest uint64
+	for g, en := range e.plans {
+		if victim == nil || en.lastUse < oldest {
+			victim, oldest = g, en.lastUse
+		}
+	}
+	if victim != nil {
+		delete(e.plans, victim)
+	}
 }
 
 // Evaluate implements Evaluator: it scores g's current source widths,
@@ -160,9 +267,33 @@ func (e *Engine) EvaluateBatch(g *sfg.Graph, as []Assignment) ([]*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	return p.evaluateAll(as, e.workers)
+}
+
+// EvaluateMoves implements MoveEvaluator: it scores every single-source
+// width change applied (independently) to base, returning results in move
+// order, bit-identical to EvaluateBatch on the equivalently moved
+// assignments. On transfer-cached plans each move costs O(npsd log S) —
+// one leaf of the contribution tree is swapped against the shared base
+// state — instead of a full re-evaluation; plans on the full-propagation
+// fallback materialize the moved assignments and fan them across the
+// worker pool like a batch.
+func (e *Engine) EvaluateMoves(g *sfg.Graph, base Assignment, moves []Move) ([]*Result, error) {
+	if len(moves) == 0 {
+		return nil, nil
+	}
+	p, err := e.plan(g)
+	if err != nil {
+		return nil, err
+	}
+	return p.evaluateMoves(base, moves, e.workers)
+}
+
+// evaluateAll scores assignments across at most workers goroutines,
+// returning results in order; the outcome is identical for any pool width.
+func (p *graphPlan) evaluateAll(as []Assignment, workers int) ([]*Result, error) {
 	results := make([]*Result, len(as))
 	errs := make([]error, len(as))
-	workers := e.workers
 	if workers > len(as) {
 		workers = len(as)
 	}
@@ -197,16 +328,26 @@ func (e *Engine) EvaluateBatch(g *sfg.Graph, as []Assignment) ([]*Result, error)
 }
 
 // graphPlan is the cached per-graph state: the validated structure snapshot,
-// every LTI node's sampled frequency response, and a pool of propagation
-// scratch arenas (one checked out per concurrent evaluation).
+// every LTI node's sampled frequency response, a pool of propagation
+// scratch arenas (one checked out per concurrent evaluation), and — when
+// the linearity probe passes — the per-source transfer profiles plus the
+// cached-evaluation state machinery of transfer.go.
 type graphPlan struct {
 	npsd    int
 	snap    *sfg.Snapshot
 	resp    [][]complex128 // by NodeID; nil for non-LTI nodes
 	scratch sync.Pool      // of *evalScratch
+
+	cached    bool               // transfer profiles validated; cached path is canonical
+	profiles  []transferProfile  // by source index (NoiseSources order)
+	srcIndex  map[sfg.NodeID]int // source id -> profile index
+	statePool sync.Pool          // of *contribState, for cached Evaluate/EvaluateBatch
+
+	deltaMu sync.Mutex    // guards delta
+	delta   *contribState // shared base state of the move path
 }
 
-func newGraphPlan(g *sfg.Graph, npsd int) (*graphPlan, error) {
+func newGraphPlanMode(g *sfg.Graph, npsd int, forceFull bool) (*graphPlan, error) {
 	if npsd < 2 {
 		return nil, fmt.Errorf("core: NPSD %d < 2", npsd)
 	}
@@ -226,11 +367,24 @@ func newGraphPlan(g *sfg.Graph, npsd int) (*graphPlan, error) {
 		}
 	}
 	p.scratch.New = func() any { return newEvalScratch(npsd) }
+	if !forceFull {
+		p.buildProfiles()
+	}
+	p.statePool.New = func() any { return newContribState(p) }
 	return p, nil
 }
 
-// evaluate scores one assignment (nil means "the graph's current widths").
+// evaluate scores one assignment (nil means "the graph's current widths")
+// through the transfer cache when available, else by full propagation.
 func (p *graphPlan) evaluate(a Assignment) (*Result, error) {
+	if p.cached {
+		return p.evaluateCached(a), nil
+	}
+	return p.evaluateFull(a)
+}
+
+// evaluateFull is the full per-source propagation — the reference path.
+func (p *graphPlan) evaluateFull(a Assignment) (*Result, error) {
 	s := p.scratch.Get().(*evalScratch)
 	defer p.scratch.Put(s)
 	res := &Result{PSD: psd.New(p.npsd)}

@@ -97,10 +97,11 @@ func resultsEqual(t *testing.T, label string, a, b *Result, tol float64) {
 	}
 }
 
-// TestEngineMatchesPSDEvaluator: the plan-cached engine and the one-shot
-// evaluator run the same propagation code, so their results must be
-// bit-identical on every example graph — asserted exactly (tol 0), with the
-// issue's 1e-12 bound as the documented fallback contract.
+// TestEngineMatchesPSDEvaluator: the transfer-cached engine against the
+// one-shot reference evaluator (full propagation). The cached path folds
+// source moments in after the propagated unit profile instead of before
+// it, so rounding may differ in the last ulp on graphs that decohere
+// before the output — the documented contract is 1e-12 relative.
 func TestEngineMatchesPSDEvaluator(t *testing.T) {
 	for name, g := range engineTestGraphs(t) {
 		eng := NewEngine(256, 4)
@@ -114,7 +115,7 @@ func TestEngineMatchesPSDEvaluator(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: evaluator: %v", name, err)
 			}
-			resultsEqual(t, name, got, want, 0)
+			resultsEqual(t, name, got, want, 1e-12)
 		}
 	}
 }
@@ -135,14 +136,15 @@ func TestEvaluateAssignmentMatchesMutatedGraph(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		// Mutate, evaluate directly, restore.
+		// Mutate, evaluate directly through the one-shot reference,
+		// restore; the cached engine agrees within the 1e-12 contract.
 		alt.Apply(g)
 		want, err := NewPSDEvaluator(128).Evaluate(g)
 		base.Apply(g)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		resultsEqual(t, name, got, want, 0)
+		resultsEqual(t, name, got, want, 1e-12)
 		// The assignment evaluation must not have disturbed the graph.
 		for id, f := range base {
 			if g.Node(id).Noise.Frac != f {
@@ -193,7 +195,9 @@ func TestEngineConcurrentEvaluate(t *testing.T) {
 	g := graphs["dwt"]
 	eng := NewEngine(256, 4)
 	base := AssignmentOf(g)
-	want, err := NewPSDEvaluator(256).Evaluate(g)
+	// Serial references from the engine itself: the hammering below must
+	// reproduce these bit-for-bit at any interleaving.
+	want, err := eng.Evaluate(g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/psd"
+	"repro/internal/qnoise"
+	"repro/internal/sfg"
+)
+
+// This file implements the transfer-cache layer of the engine — the
+// evaluate-once-query-many structure the word-length optimizer leans on.
+//
+// Source moments enter the propagation of engine.go in exactly one place:
+// decohere scales the squared path response by the source variance and the
+// DC gain by the source mean, and every later power-domain operation
+// (|H|^2 scaling, aliasing, imaging, uncorrelated addition) is linear in
+// bins and mean separately. A source's output contribution is therefore
+//
+//	Bins_out[k] = variance * S_k      Mean_out = mean * G
+//
+// with S_k and G independent of the source width. Plan construction
+// propagates a unit-moment (mean 1, variance 1) wave from each source once
+// and caches (S_k, G) as that source's transferProfile; evaluate then reduces to one
+// fused multiply per source per bin, and a single-width move to an
+// O(npsd log S) leaf swap (see contribState). Graphs whose propagation
+// fails the exactness probe below fall back to full propagation.
+//
+// Bit-identity contract: Evaluate, EvaluateAssignment, EvaluateBatch and
+// EvaluateMoves all reduce contributions through the same fixed-shape
+// pairwise tree, so their results are bit-identical to one another for any
+// worker count. The retained full-propagation path is the reference the
+// equivalence tests compare against (within 1e-12 relative; exactly equal
+// on graphs that stay coherent to the output when npsd is a power of two,
+// where the cached rounding coincides with the propagated rounding).
+
+// transferProfile is one noise source's cached width-independent transfer:
+// the output PSD of a unit-variance injection and the output mean of a
+// unit-mean injection.
+type transferProfile struct {
+	bins     []float64 // output AC bins per unit source variance
+	meanGain float64   // output mean per unit source mean
+}
+
+// buildProfiles propagates a unit wave from every source and validates the
+// linearity assumption; on success the plan switches to the cached path.
+//
+// The validation probe re-propagates with mean -8 and variance 4. Every
+// arithmetic operation on the propagation path is exact under scaling by a
+// power of two (float multiplication and addition commute with exponent
+// shifts, barring overflow), so for a propagation that is genuinely linear
+// in the source moments the probe must equal the scaled unit profile
+// bit-for-bit; any mismatch — including NaN or overflow — marks the
+// topology as breaking the linearity assumptions and keeps full
+// propagation as the evaluation path. The probe moments are chosen with
+// mean^2 != variance so that bin energy proportional to mean^2 (a DC
+// power term a future op might fold in) scales by 64 and cannot
+// masquerade as the variance-linear model's factor of 4.
+func (p *graphPlan) buildProfiles() {
+	sources := p.snap.NoiseSources()
+	p.srcIndex = make(map[sfg.NodeID]int, len(sources))
+	p.profiles = make([]transferProfile, len(sources))
+	s := p.scratch.Get().(*evalScratch)
+	defer p.scratch.Put(s)
+	for i, id := range sources {
+		p.srcIndex[id] = i
+		s.reset()
+		unit, err := p.propagate(s, id, 1, 1)
+		if err != nil {
+			return
+		}
+		prof := transferProfile{
+			bins:     append([]float64(nil), unit.Bins...),
+			meanGain: unit.Mean,
+		}
+		s.reset()
+		probe, err := p.propagate(s, id, -8, 4)
+		if err != nil {
+			return
+		}
+		if probe.Mean != -8*prof.meanGain {
+			return
+		}
+		for k, b := range probe.Bins {
+			if b != 4*prof.bins[k] {
+				return
+			}
+		}
+		p.profiles[i] = prof
+	}
+	p.cached = true
+}
+
+// resolveSource returns source i's width and moments under assignment a
+// (nil means the graph's stored widths), mirroring the full path's per-call
+// moment resolution.
+func (p *graphPlan) resolveSource(i int, a Assignment) (int, qnoise.Moments) {
+	id := p.snap.NoiseSources()[i]
+	src := *p.snap.Node(id).Noise
+	if a != nil {
+		if f, ok := a[id]; ok {
+			src.Frac = f
+		}
+	}
+	return src.Frac, src.Moments()
+}
+
+// contribState is the canonical cached evaluation of one assignment: the
+// per-source contribution leaves (variance * profile bins) combined through
+// a fixed-shape pairwise reduction tree whose root is the output PSD. The
+// tree makes delta evaluation exact: swapping one leaf and recombining its
+// root path performs the identical float additions a fresh build performs,
+// so a moved result is bit-identical to evaluating the moved assignment
+// from scratch — at O(npsd * log S) instead of O(S * npsd) cost.
+//
+// Tree shape: level 0 holds the S leaves; each higher level pairs
+// neighbours, an odd tail node passing through by aliasing the child's
+// storage (no addition, hence no rounding). For S <= 3 the reduction order
+// degenerates to the sequential left-to-right sum of the full path.
+type contribState struct {
+	plan *graphPlan
+
+	fracs []int     // resolved width per source — the state's identity
+	vari  []float64 // resolved variance per source
+	mean  []float64 // resolved mean per source
+
+	leafBins [][]float64 // S x npsd source contributions
+	leafMean []float64   // per-source mean contributions
+	perVar   []float64   // per-source variances: Sum(leafBins[i])
+
+	binLevels  [][][]float64 // reduction levels above the leaves
+	meanLevels [][]float64   // matching scalar reduction for the means
+
+	dirty    []int     // scratch for build's changed-leaf bookkeeping
+	moveBins []float64 // scratch root accumulator of resultForMove
+	zero     []float64 // root stand-in for source-free graphs
+}
+
+func newContribState(p *graphPlan) *contribState {
+	n := len(p.profiles)
+	st := &contribState{
+		plan:     p,
+		fracs:    make([]int, n),
+		vari:     make([]float64, n),
+		mean:     make([]float64, n),
+		leafBins: make([][]float64, n),
+		leafMean: make([]float64, n),
+		perVar:   make([]float64, n),
+	}
+	for i := range st.fracs {
+		st.fracs[i] = -1 << 30 // never equal to a real width: first build always fills
+		st.leafBins[i] = make([]float64, p.npsd)
+	}
+	st.moveBins = make([]float64, p.npsd)
+	if n == 0 {
+		st.zero = make([]float64, p.npsd)
+		return st
+	}
+	// Allocate the reduction levels once; passthrough nodes alias their
+	// child's storage so recombination skips them entirely.
+	level := st.leafBins
+	for len(level) > 1 {
+		next := make([][]float64, (len(level)+1)/2)
+		nextMean := make([]float64, len(next))
+		for j := range next {
+			if 2*j+1 < len(level) {
+				next[j] = make([]float64, p.npsd)
+			} else {
+				next[j] = level[2*j]
+			}
+		}
+		st.binLevels = append(st.binLevels, next)
+		st.meanLevels = append(st.meanLevels, nextMean)
+		level = next
+	}
+	return st
+}
+
+// childBins returns the bin rows feeding level l (the leaves for l == 0).
+func (st *contribState) childBins(l int) [][]float64 {
+	if l == 0 {
+		return st.leafBins
+	}
+	return st.binLevels[l-1]
+}
+
+func (st *contribState) childMeans(l int) []float64 {
+	if l == 0 {
+		return st.leafMean
+	}
+	return st.meanLevels[l-1]
+}
+
+// fillLeaf computes source i's contribution from its cached profile.
+func (st *contribState) fillLeaf(i int) {
+	prof := &st.plan.profiles[i]
+	psd.ScaleInto(st.leafBins[i], prof.bins, st.vari[i])
+	st.leafMean[i] = st.mean[i] * prof.meanGain
+	st.perVar[i] = psd.Sum(st.leafBins[i])
+}
+
+// combinePath recombines the ancestors of leaf i, bottom-up.
+func (st *contribState) combinePath(i int) {
+	idx := i
+	for l := range st.binLevels {
+		parent := idx / 2
+		children, means := st.childBins(l), st.childMeans(l)
+		if 2*parent+1 < len(children) {
+			psd.AddInto(st.binLevels[l][parent], children[2*parent], children[2*parent+1])
+			st.meanLevels[l][parent] = means[2*parent] + means[2*parent+1]
+		} else {
+			// Passthrough: bins alias the child; only the scalar copies.
+			st.meanLevels[l][parent] = means[2*parent]
+		}
+		idx = parent
+	}
+}
+
+// build (re)computes the state for the resolved widths of assignment a.
+// Leaves whose width and moments are unchanged are reused as-is — their
+// stored values are bit-identical to a recomputation — and when only a few
+// leaves moved, only their root paths are recombined (the same additions a
+// full recombination would perform on those nodes, so the tree contents
+// are bit-identical either way).
+func (st *contribState) build(a Assignment) {
+	changed := st.dirty[:0]
+	for i := range st.fracs {
+		frac, m := st.plan.resolveSource(i, a)
+		if frac == st.fracs[i] && m == (qnoise.Moments{Mean: st.mean[i], Variance: st.vari[i]}) {
+			continue
+		}
+		st.fracs[i] = frac
+		st.vari[i] = m.Variance
+		st.mean[i] = m.Mean
+		st.fillLeaf(i)
+		changed = append(changed, i)
+	}
+	st.dirty = changed
+	if len(changed) == 0 {
+		return
+	}
+	// Path recombination beats a full pass while the changed paths touch
+	// fewer internal nodes than the tree holds (paths may share ancestors,
+	// making this an over-estimate — still the right cheap heuristic).
+	if len(changed)*max(len(st.binLevels), 1) < len(st.fracs) {
+		for _, i := range changed {
+			st.combinePath(i)
+		}
+		return
+	}
+	for l := range st.binLevels {
+		children, means := st.childBins(l), st.childMeans(l)
+		for j := range st.binLevels[l] {
+			if 2*j+1 < len(children) {
+				psd.AddInto(st.binLevels[l][j], children[2*j], children[2*j+1])
+				st.meanLevels[l][j] = means[2*j] + means[2*j+1]
+			} else {
+				st.meanLevels[l][j] = means[2*j]
+			}
+		}
+	}
+}
+
+// rootBins returns the reduced output bins.
+func (st *contribState) rootBins() []float64 {
+	if len(st.leafBins) == 0 {
+		return st.zero
+	}
+	if len(st.binLevels) == 0 {
+		return st.leafBins[0]
+	}
+	return st.binLevels[len(st.binLevels)-1][0]
+}
+
+func (st *contribState) rootMean() float64 {
+	if len(st.leafMean) == 0 {
+		return 0
+	}
+	if len(st.meanLevels) == 0 {
+		return st.leafMean[0]
+	}
+	return st.meanLevels[len(st.meanLevels)-1][0]
+}
+
+// result materializes the state into a Result, matching the full path's
+// field derivations (variance as the canonical bin sum, power from mean
+// and variance).
+func (st *contribState) result() *Result {
+	return st.materialize(st.rootBins(), st.rootMean(), -1, 0, 0)
+}
+
+// materialize builds a Result from root bins and mean, substituting
+// source moveSrc's per-source contribution when moveSrc >= 0.
+func (st *contribState) materialize(root []float64, rootMean float64, moveSrc int, movePerVar, moveMean float64) *Result {
+	p := st.plan
+	res := &Result{PSD: psd.New(p.npsd)}
+	copy(res.PSD.Bins, root)
+	res.Mean = rootMean
+	res.PSD.Mean = rootMean
+	res.Variance = psd.Sum(res.PSD.Bins)
+	res.Power = res.Mean*res.Mean + res.Variance
+	sources := p.snap.NoiseSources()
+	res.PerSource = make([]SourceContribution, len(sources))
+	for i, id := range sources {
+		pv, pm := st.perVar[i], st.leafMean[i]
+		if i == moveSrc {
+			pv, pm = movePerVar, moveMean
+		}
+		res.PerSource[i] = SourceContribution{
+			Name:     p.snap.Node(id).Noise.Name,
+			Variance: pv,
+			Mean:     pm,
+		}
+	}
+	return res
+}
+
+// resultForMove materializes the result of the state's base assignment
+// with source si moved to frac, without mutating the tree: the moved leaf
+// is accumulated with the untouched sibling nodes along its root path.
+// IEEE-754 addition is commutative bit-for-bit, so these are exactly the
+// additions a fresh build of the moved assignment performs on that path —
+// the delta result is bit-identical to a from-scratch evaluation at
+// O(npsd log S) cost.
+func (st *contribState) resultForMove(si, frac int) *Result {
+	p := st.plan
+	m := p.resolveSourceFrac(si, frac)
+	cur := st.moveBins
+	psd.ScaleInto(cur, p.profiles[si].bins, m.Variance)
+	movePerVar := psd.Sum(cur)
+	moveMean := m.Mean * p.profiles[si].meanGain
+	curMean := moveMean
+	idx := si
+	for l := range st.binLevels {
+		parent := idx / 2
+		children := st.childBins(l)
+		if 2*parent+1 < len(children) {
+			sib := idx ^ 1
+			psd.AddInto(cur, cur, children[sib])
+			curMean += st.childMeans(l)[sib]
+		}
+		idx = parent
+	}
+	return st.materialize(cur, curMean, si, movePerVar, moveMean)
+}
+
+// resolveSourceFrac is resolveSource with an explicit width override.
+func (p *graphPlan) resolveSourceFrac(i, frac int) qnoise.Moments {
+	id := p.snap.NoiseSources()[i]
+	src := *p.snap.Node(id).Noise
+	src.Frac = frac
+	return src.Moments()
+}
+
+// evaluateCached scores one assignment through the transfer cache using a
+// pooled state. Requires p.cached.
+func (p *graphPlan) evaluateCached(a Assignment) *Result {
+	st := p.statePool.Get().(*contribState)
+	st.build(a)
+	res := st.result()
+	p.statePool.Put(st)
+	return res
+}
+
+// evaluateMoves scores single-source width changes against base. On the
+// cached path each move swaps one leaf of a shared base state (restoring it
+// afterwards), which performs exactly the additions a fresh build would and
+// is therefore bit-identical to EvaluateBatch on the moved assignments. On
+// the full-propagation fallback the moved assignments are materialized and
+// evaluated through the same code EvaluateBatch runs, preserving the
+// bit-identity contract at full cost.
+func (p *graphPlan) evaluateMoves(base Assignment, moves []Move, workers int) ([]*Result, error) {
+	if !p.cached {
+		as := make([]Assignment, len(moves))
+		for i, mv := range moves {
+			if !p.isSource(mv.Source) {
+				return nil, fmt.Errorf("core: move on node %d, which is not a noise source", mv.Source)
+			}
+			a := base.Clone()
+			a[mv.Source] = mv.Frac
+			as[i] = a
+		}
+		return p.evaluateAll(as, workers)
+	}
+	for _, mv := range moves {
+		if _, ok := p.srcIndex[mv.Source]; !ok {
+			return nil, fmt.Errorf("core: move on node %d, which is not a noise source", mv.Source)
+		}
+	}
+	p.deltaMu.Lock()
+	defer p.deltaMu.Unlock()
+	if p.delta == nil {
+		p.delta = newContribState(p)
+	}
+	st := p.delta
+	st.build(base)
+	results := make([]*Result, len(moves))
+	for i, mv := range moves {
+		results[i] = st.resultForMove(p.srcIndex[mv.Source], mv.Frac)
+	}
+	return results, nil
+}
+
+func (p *graphPlan) isSource(id sfg.NodeID) bool {
+	for _, s := range p.snap.NoiseSources() {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalMode names the evaluation path a plan settled on.
+const (
+	// EvalModeCached: per-source transfer profiles validated; evaluation is
+	// a fused multiply-accumulate and moves take the delta path.
+	EvalModeCached = "cached"
+	// EvalModeFull: profiles unavailable (nonlinear topology or forced);
+	// every call runs the full per-source propagation.
+	EvalModeFull = "full"
+)
+
+func (p *graphPlan) mode() string {
+	if p.cached {
+		return EvalModeCached
+	}
+	return EvalModeFull
+}

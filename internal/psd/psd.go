@@ -62,12 +62,46 @@ func (p PSD) Clone() PSD {
 }
 
 // Variance returns the AC power, sum of bins.
-func (p PSD) Variance() float64 {
+func (p PSD) Variance() float64 { return Sum(p.Bins) }
+
+// Sum returns the sequential left-to-right sum of bins — the canonical
+// bin-summation order every evaluator shares, so variances computed from
+// the same bins are bit-identical no matter which code path produced them.
+func Sum(bins []float64) float64 {
 	var s float64
-	for _, v := range p.Bins {
+	for _, v := range bins {
 		s += v
 	}
 	return s
+}
+
+// ScaleInto writes src scaled by g into dst (dst[k] = g * src[k]) and
+// returns dst. It is the fused kernel of the transfer-cache evaluation
+// path: one multiply per bin turns a cached unit-variance profile into a
+// source's contribution. dst and src must have equal length (dst == src is
+// allowed).
+func ScaleInto(dst, src []float64, g float64) []float64 {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("psd: scale into %d bins, want %d", len(dst), len(src)))
+	}
+	for k, v := range src {
+		dst[k] = g * v
+	}
+	return dst
+}
+
+// AddInto writes the per-bin sum of a and b into dst (dst[k] = a[k] + b[k])
+// and returns dst. It is the fused combine kernel of the contribution
+// reduction tree; all three slices must have equal length and dst may alias
+// either input.
+func AddInto(dst, a, b []float64) []float64 {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(fmt.Sprintf("psd: add into %d bins from %d and %d", len(dst), len(a), len(b)))
+	}
+	for k := range dst {
+		dst[k] = a[k] + b[k]
+	}
+	return dst
 }
 
 // Power returns the total power E[x^2] = mean^2 + variance (Eq. 9).

@@ -448,3 +448,57 @@ func TestRenderASCII(t *testing.T) {
 		t.Fatal("default rendering empty")
 	}
 }
+
+func TestFusedKernels(t *testing.T) {
+	src := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	if got := ScaleInto(dst, src, 0.5); &got[0] != &dst[0] {
+		t.Fatal("ScaleInto must return dst")
+	}
+	for i, want := range []float64{0.5, 1, 1.5, 2} {
+		if dst[i] != want {
+			t.Fatalf("ScaleInto[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	// In-place scaling is allowed.
+	ScaleInto(dst, dst, 2)
+	for i, want := range src {
+		if dst[i] != want {
+			t.Fatalf("in-place ScaleInto[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+	sum := make([]float64, 4)
+	AddInto(sum, src, dst)
+	for i := range sum {
+		if sum[i] != 2*src[i] {
+			t.Fatalf("AddInto[%d] = %g, want %g", i, sum[i], 2*src[i])
+		}
+	}
+	// Accumulation may alias the destination with an input.
+	AddInto(sum, sum, src)
+	if sum[0] != 3 || sum[3] != 12 {
+		t.Fatalf("aliased AddInto = %v", sum)
+	}
+	if got := Sum(src); got != 10 {
+		t.Fatalf("Sum = %g, want 10", got)
+	}
+	// Sum shares the canonical summation order with PSD.Variance.
+	p := PSD{Bins: src}
+	if Sum(src) != p.Variance() {
+		t.Fatal("Sum diverges from Variance")
+	}
+	for _, bad := range []func(){
+		func() { ScaleInto(dst[:2], src, 1) },
+		func() { AddInto(sum, src[:2], dst) },
+		func() { AddInto(sum[:2], src, dst) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch should panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

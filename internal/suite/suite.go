@@ -124,8 +124,15 @@ type Cell struct {
 	Power       float64 `json:"power"`
 	Sources     int     `json:"sources"`
 	Evaluations int     `json:"evaluations"`
-	WallMS      float64 `json:"wall_ms"`
-	Err         string  `json:"error,omitempty"`
+	// EvalMode reports the engine path the cell's oracle settled on:
+	// "cached" (transfer-cache multiply-accumulate + delta moves) or
+	// "full" (per-source propagation fallback).
+	EvalMode string `json:"eval_mode,omitempty"`
+	// OptMS is the wall time of the search itself (oracle calls included,
+	// graph construction excluded); WallMS is the whole cell.
+	OptMS  float64 `json:"opt_ms"`
+	WallMS float64 `json:"wall_ms"`
+	Err    string  `json:"error,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -180,7 +187,7 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{
-		Schema:       "repro/suite/v1",
+		Schema:       "repro/suite/v2",
 		NPSD:         cfg.NPSD,
 		MinFrac:      cfg.MinFrac,
 		MaxFrac:      cfg.MaxFrac,
@@ -251,13 +258,19 @@ func runCell(sys systems.System, strategy string, budgetWidth int, budget float6
 		cell.Err = err.Error()
 		return cell
 	}
+	eng := core.NewEngine(cfg.NPSD, cfg.InnerWorkers)
+	optStart := time.Now()
 	res, err := wlopt.RunStrategy(g, strategy, wlopt.Options{
 		Budget:    budget,
 		MinFrac:   cfg.MinFrac,
 		MaxFrac:   cfg.MaxFrac,
-		Evaluator: core.NewEngine(cfg.NPSD, cfg.InnerWorkers),
+		Evaluator: eng,
 		Seed:      cfg.Seed,
 	})
+	cell.OptMS = float64(time.Since(optStart).Microseconds()) / 1e3
+	if mode, merr := eng.EvalMode(g); merr == nil {
+		cell.EvalMode = mode
+	}
 	if err != nil {
 		cell.Err = err.Error()
 		return cell
@@ -274,8 +287,8 @@ func runCell(sys systems.System, strategy string, budgetWidth int, budget float6
 func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "SUITE: %d systems x %d strategies x %d budgets (N_PSD=%d, widths [%d, %d], %d workers)\n",
 		len(r.Systems), len(r.Strategies), len(r.BudgetWidths), r.NPSD, r.MinFrac, r.MaxFrac, r.Workers)
-	fmt.Fprintf(w, "%-20s %-8s %4s %12s %8s %8s %7s %9s %9s\n",
-		"system", "strategy", "b@d", "budget", "cost", "uniform", "evals", "wall", "status")
+	fmt.Fprintf(w, "%-20s %-8s %4s %12s %8s %8s %7s %-6s %9s %9s %9s\n",
+		"system", "strategy", "b@d", "budget", "cost", "uniform", "evals", "mode", "opt", "wall", "status")
 	prev := ""
 	for _, c := range r.Cells {
 		if c.System != prev && prev != "" {
@@ -286,9 +299,9 @@ func (r *Report) Render(w io.Writer) {
 		if c.Err != "" {
 			status = "FAIL: " + c.Err
 		}
-		fmt.Fprintf(w, "%-20s %-8s %4d %12.3g %8.0f %8.0f %7d %8.1fms %s\n",
+		fmt.Fprintf(w, "%-20s %-8s %4d %12.3g %8.0f %8.0f %7d %-6s %8.1fms %8.1fms %s\n",
 			c.System, c.Strategy, c.BudgetWidth, c.Budget, c.Cost, c.UniformCost,
-			c.Evaluations, c.WallMS, status)
+			c.Evaluations, c.EvalMode, c.OptMS, c.WallMS, status)
 	}
 	if n := r.Failures(); n > 0 {
 		fmt.Fprintf(w, "\n%d/%d cells FAILED\n", n, len(r.Cells))

@@ -49,6 +49,11 @@ func TestRunCoversRegistryTimesStrategies(t *testing.T) {
 		if c.Evaluations <= 0 || c.Sources <= 0 {
 			t.Errorf("cell %s/%s: implausible evals=%d sources=%d", c.System, c.Strategy, c.Evaluations, c.Sources)
 		}
+		// Every registry topology passes the linearity probe, so every
+		// cell's oracle must report the transfer-cached path.
+		if c.EvalMode != "cached" {
+			t.Errorf("cell %s/%s: eval mode %q, want \"cached\"", c.System, c.Strategy, c.EvalMode)
+		}
 	}
 	for _, sys := range names {
 		for _, st := range strategies {
@@ -69,6 +74,7 @@ func TestRunDeterministicAcrossPoolWidths(t *testing.T) {
 		out := make([]Cell, len(rep.Cells))
 		for i, c := range rep.Cells {
 			c.WallMS = 0
+			c.OptMS = 0
 			out[i] = c
 		}
 		return out
@@ -110,7 +116,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != "repro/suite/v1" {
+	if back.Schema != "repro/suite/v2" {
 		t.Fatalf("schema %q", back.Schema)
 	}
 	if len(back.Cells) != len(rep.Cells) || back.Cells[0] != rep.Cells[0] {

@@ -73,6 +73,7 @@ func (annealStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 
 	for r := 0; r < rounds; r++ {
 		props := make([]core.Assignment, 0, annealProposals)
+		moves := make([]core.Move, 0, annealProposals)
 		for k := 0; k < annealProposals; k++ {
 			a := cur.Clone()
 			id := sources[rng.Intn(len(sources))]
@@ -85,8 +86,13 @@ func (annealStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 				a[id]-- // at MaxFrac with an up draw; MinFrac < MaxFrac here
 			}
 			props = append(props, a)
+			moves = append(moves, core.Move{Source: id, Frac: a[id]})
 		}
-		ps, err := o.Powers(props)
+		// Each proposal is a single-source change off cur, so the round is
+		// scored through the oracle's move path (delta evaluation on
+		// move-capable evaluators); the materialized assignments are kept
+		// for the acceptance bookkeeping below.
+		ps, err := o.PowersMoves(cur, moves)
 		if err != nil {
 			return nil, err
 		}

@@ -53,32 +53,30 @@ func (ascentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 
 // climb runs the greedy bit-addition loop from cur (whose power is the
 // second argument) until the budget is met, scoring every step's candidate
-// increments as one batch. It returns the first feasible assignment and its
-// power. It is the core of the ascent strategy and the first phase of the
-// hybrid strategy.
+// increments as one oracle round of Moves against the incumbent — the
+// delta path on move-capable evaluators. It returns the first feasible
+// assignment and its power. It is the core of the ascent strategy and the
+// first phase of the hybrid strategy.
 func climb(o *Oracle, opt Options, cur core.Assignment, power float64) (core.Assignment, float64, error) {
 	for power > opt.Budget {
 		type cand struct {
 			id    sfg.NodeID
-			a     core.Assignment
 			power float64
 			score float64 // noise reduction per unit cost
 		}
 		var cands []cand
-		var batch []core.Assignment
+		var moves []core.Move
 		for _, id := range o.Sources() {
 			if cur[id] >= opt.MaxFrac {
 				continue
 			}
-			a := cur.Clone()
-			a[id]++
-			cands = append(cands, cand{id: id, a: a})
-			batch = append(batch, a)
+			cands = append(cands, cand{id: id})
+			moves = append(moves, core.Move{Source: id, Frac: cur[id] + 1})
 		}
 		if len(cands) == 0 {
 			return nil, 0, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
 		}
-		ps, err := o.Powers(batch)
+		ps, err := o.PowersMoves(cur, moves)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -97,7 +95,8 @@ func climb(o *Oracle, opt Options, cur core.Assignment, power float64) (core.Ass
 		if !found {
 			return nil, 0, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
 		}
-		cur = best.a
+		cur = cur.Clone()
+		cur[best.id]++
 		power = best.power
 	}
 	return cur, power, nil

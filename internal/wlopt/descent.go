@@ -49,33 +49,31 @@ func (descentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 }
 
 // trim runs the greedy bit-removal loop from cur: every step scores all
-// feasible single-bit removals as one batch of independent assignments and
-// takes the one freeing the most cost, until no removal stays under the
-// budget. It is the whole of the descent strategy and the second phase of
-// the hybrid strategy.
+// feasible single-bit removals as one oracle round of Moves against the
+// incumbent — the delta path on move-capable evaluators — and takes the
+// one freeing the most cost, until no removal stays under the budget. It
+// is the whole of the descent strategy and the second phase of the hybrid
+// strategy.
 func trim(o *Oracle, opt Options, cur core.Assignment) (core.Assignment, error) {
 	for {
 		type cand struct {
 			id    sfg.NodeID
-			a     core.Assignment
 			power float64
 			gain  float64
 		}
 		var cands []cand
-		var batch []core.Assignment
+		var moves []core.Move
 		for _, id := range o.Sources() {
 			if cur[id] <= opt.MinFrac {
 				continue
 			}
-			a := cur.Clone()
-			a[id]--
-			cands = append(cands, cand{id: id, a: a, gain: o.Weight(id)})
-			batch = append(batch, a)
+			cands = append(cands, cand{id: id, gain: o.Weight(id)})
+			moves = append(moves, core.Move{Source: id, Frac: cur[id] - 1})
 		}
 		if len(cands) == 0 {
 			break
 		}
-		ps, err := o.Powers(batch)
+		ps, err := o.PowersMoves(cur, moves)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +97,8 @@ func trim(o *Oracle, opt Options, cur core.Assignment) (core.Assignment, error) 
 			}
 			return feasible[i].power < feasible[j].power
 		})
-		cur = feasible[0].a
+		cur = cur.Clone()
+		cur[feasible[0].id]--
 	}
 	return cur, nil
 }

@@ -91,6 +91,7 @@ type Oracle struct {
 	sources     []sfg.NodeID
 	ev          core.Evaluator
 	batch       core.BatchEvaluator
+	mover       core.MoveEvaluator
 	weight      func(string) float64
 	evaluations int
 }
@@ -103,6 +104,9 @@ func newOracle(g *sfg.Graph, opt Options) *Oracle {
 	o := &Oracle{g: g, sources: g.NoiseSources(), ev: ev, weight: weightFn(opt)}
 	if b, ok := ev.(core.BatchEvaluator); ok {
 		o.batch = b
+	}
+	if m, ok := ev.(core.MoveEvaluator); ok {
+		o.mover = m
 	}
 	return o
 }
@@ -137,6 +141,11 @@ func (o *Oracle) Evaluations() int { return o.evaluations }
 // powers are identical for every pool width.
 func (o *Oracle) Powers(as []core.Assignment) ([]float64, error) {
 	o.evaluations += len(as)
+	return o.powersOf(as)
+}
+
+// powersOf is Powers without the oracle-call accounting.
+func (o *Oracle) powersOf(as []core.Assignment) ([]float64, error) {
 	out := make([]float64, len(as))
 	if o.batch != nil {
 		rs, err := o.batch.EvaluateBatch(o.g, as)
@@ -159,6 +168,35 @@ func (o *Oracle) Powers(as []core.Assignment) ([]float64, error) {
 		out[i] = r.Power
 	}
 	return out, nil
+}
+
+// PowersMoves scores single-source width changes applied independently to
+// base — the shape of every greedy search step. Each move counts as one
+// oracle call, exactly like scoring the equivalent full assignment through
+// Powers, so strategies switching between the two paths keep identical
+// Result.Evaluations. Move-capable evaluators (core.Engine) take the
+// incremental delta path; other evaluators fall back to materializing the
+// moved assignments, with bit-identical powers either way.
+func (o *Oracle) PowersMoves(base core.Assignment, moves []core.Move) ([]float64, error) {
+	o.evaluations += len(moves)
+	if o.mover != nil {
+		rs, err := o.mover.EvaluateMoves(o.g, base, moves)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r.Power
+		}
+		return out, nil
+	}
+	as := make([]core.Assignment, len(moves))
+	for i, mv := range moves {
+		a := base.Clone()
+		a[mv.Source] = mv.Frac
+		as[i] = a
+	}
+	return o.powersOf(as)
 }
 
 // Power scores one assignment.
