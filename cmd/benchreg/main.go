@@ -75,7 +75,7 @@ type Report struct {
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEvaluateMoves|BenchmarkEngineEvaluate|BenchmarkFig6_Estimation",
+		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEvaluateMoves|BenchmarkEngineEvaluate|BenchmarkFig6_Estimation|BenchmarkServiceSubmit",
 			"benchmark regex passed to go test -bench")
 		count           = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")
 		pkgs            = flag.String("pkgs", "./...", "package pattern to bench")

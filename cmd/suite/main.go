@@ -10,16 +10,25 @@
 //	suite                         # full grid -> SUITE_report.json
 //	suite -short                  # one budget per pair at reduced scale (CI smoke)
 //	suite -strategies hybrid,anneal -budgets 8,12 -out /tmp/report.json
+//	suite -spec examples/specs    # user spec files join the registry sweep
+//
+// -spec accepts a single .json spec file or a directory of them; the
+// described systems run through the same strategy x budget grid as the
+// registry, and every report row carries the system's spec digest (the
+// optimization service's cache identity).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/spec"
 	"repro/internal/suite"
 )
 
@@ -35,6 +44,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "cells in flight (0 = GOMAXPROCS)")
 		inner      = flag.Int("inner", 0, "per-cell oracle pool width (0 = 1)")
 		seed       = flag.Int64("seed", 1, "seed for randomized strategies")
+		specPath   = flag.String("spec", "", "spec file or directory of *.json specs to sweep alongside the registry")
 	)
 	flag.Parse()
 
@@ -52,6 +62,14 @@ func main() {
 	}
 	if s := strings.TrimSpace(*strategies); s != "" {
 		cfg.Strategies = strings.Split(s, ",")
+	}
+	if *specPath != "" {
+		specs, err := loadSpecs(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "suite: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Specs = specs
 	}
 
 	start := time.Now()
@@ -90,6 +108,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "suite: %d/%d cells failed\n", n, len(rep.Cells))
 		os.Exit(1)
 	}
+}
+
+// loadSpecs parses one spec file, or every *.json file of a directory in
+// name order.
+func loadSpecs(path string) ([]*spec.Spec, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	files := []string{path}
+	if st.IsDir() {
+		if files, err = filepath.Glob(filepath.Join(path, "*.json")); err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no *.json specs in %s", path)
+		}
+		sort.Strings(files)
+	}
+	var out []*spec.Spec
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := spec.Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
 }
 
 func parseWidths(s string) ([]int, error) {

@@ -1,9 +1,43 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
+
+func TestLoadSpecs(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "specs")
+	specs, err := loadSpecs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 2 {
+		t.Fatalf("loaded %d specs from %s", len(specs), dir)
+	}
+	one, err := loadSpecs(filepath.Join(dir, "comb-notch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Name != "comb-notch" {
+		t.Fatalf("single-file load: %+v", one)
+	}
+	if _, err := loadSpecs(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSpecs(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("parse error should name the file, got %v", err)
+	}
+	if _, err := loadSpecs(t.TempDir()); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}
 
 func TestParseWidths(t *testing.T) {
 	cases := []struct {

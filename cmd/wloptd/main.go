@@ -1,0 +1,274 @@
+// Command wloptd is the word-length optimization daemon: an HTTP shell
+// over internal/service that turns the paper's millisecond-scale
+// analytical evaluation into an online service. Clients POST a system
+// spec (or a registry system name) with optimizer options and get back a
+// job; jobs are deduplicated through a content-addressed result cache,
+// executed on a bounded worker pool sharing one plan-cached evaluation
+// engine, cancellable mid-search, and observable step by step over
+// server-sent events.
+//
+// API:
+//
+//	POST   /v1/jobs          submit {"system": ...|"spec": {...}, "options": {...}}
+//	                         (or a raw spec document with embedded options);
+//	                         202 with the job, 200 when served from cache
+//	GET    /v1/jobs          list retained jobs
+//	GET    /v1/jobs/{id}     job snapshot; ?watch=1 streams progress as SSE
+//	DELETE /v1/jobs/{id}     cooperative cancel (best-so-far result)
+//	GET    /v1/systems       registry systems accepted by name, with digests
+//	GET    /healthz          liveness + job/cache statistics
+//
+// Usage:
+//
+//	wloptd -addr :8080
+//	wloptd -addr 127.0.0.1:9000 -npsd 512 -workers 8 -cache 256
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight searches
+// are cancelled cooperatively (between greedy steps), watchers receive
+// their terminal events, and the listener drains before exit.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		npsd    = flag.Int("npsd", 0, "evaluation engine PSD bins (0 = 256)")
+		workers = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+		inner   = flag.Int("inner", 0, "per-job oracle pool width (0 = 1)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = 128)")
+		queue   = flag.Int("queue", 0, "pending job queue bound (0 = 256)")
+		maxBody = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	)
+	flag.Parse()
+
+	mgr := service.New(service.Config{
+		NPSD:            *npsd,
+		Workers:         *workers,
+		InnerWorkers:    *inner,
+		ResultCacheSize: *cache,
+		QueueSize:       *queue,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(mgr, *maxBody),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("wloptd: listening on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("wloptd: shutting down")
+	case err := <-errCh:
+		log.Printf("wloptd: serve: %v", err)
+		mgr.Close()
+		os.Exit(1)
+	}
+	// Terminate jobs first: every watcher's stream ends at its terminal
+	// event, so active SSE connections drain and Shutdown can complete.
+	mgr.Close()
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("wloptd: shutdown: %v", err)
+		srv.Close()
+	}
+	log.Printf("wloptd: bye")
+}
+
+// newMux wires the API onto a fresh mux; split from main so the end-to-end
+// tests can mount it on httptest servers.
+func newMux(mgr *service.Manager, maxBody int64) *http.ServeMux {
+	s := &server{mgr: mgr, maxBody: maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /v1/systems", s.systems)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	return mux
+}
+
+type server struct {
+	mgr     *service.Manager
+	maxBody int64
+}
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps service sentinel errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, service.ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, service.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string        `json:"status"`
+		Stats  service.Stats `json:"stats"`
+	}{"ok", s.mgr.Stats()})
+}
+
+func (s *server) systems(w http.ResponseWriter, r *http.Request) {
+	list, err := s.mgr.Systems()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, s.maxBody)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", service.ErrBadRequest, err))
+		return
+	}
+	var req service.Request
+	// Strict decoding so a typoed field inside {"spec": ...} is rejected,
+	// exactly like the same document POSTed raw through spec.Parse —
+	// silently dropping an unknown field would optimize a different
+	// problem than the client wrote.
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || (req.System == "" && req.Spec == nil) {
+		// Convenience: a raw spec document (as produced by spec.Marshal,
+		// e.g. curl -d @examples/specs/comb-notch.json) is accepted
+		// directly, with its embedded options.
+		sp, perr := spec.Parse(body)
+		if perr != nil {
+			if err == nil {
+				err = fmt.Errorf("request has neither system nor spec")
+			}
+			writeErr(w, fmt.Errorf("%w: %v (as raw spec: %v)", service.ErrBadRequest, err, perr))
+			return
+		}
+		req = service.Request{Spec: sp}
+	}
+	info, err := s.mgr.Submit(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if info.CacheHit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("watch") != "" {
+		s.watch(w, r, id)
+		return
+	}
+	info, err := s.mgr.Get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// watch streams the job's event history and live progress as server-sent
+// events; the stream ends after the terminal event, or when the client
+// disconnects.
+func (s *server) watch(w http.ResponseWriter, r *http.Request, id string) {
+	ch, stop, err := s.mgr.Watch(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer stop()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			flusher.Flush()
+			if ev.Terminal {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}

@@ -1,0 +1,368 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/systems"
+	"repro/internal/wlopt"
+)
+
+// newTestServer boots the full HTTP stack (real mux, real manager) on an
+// httptest listener.
+func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Manager) {
+	t.Helper()
+	if cfg.NPSD == 0 {
+		cfg.NPSD = 64
+	}
+	mgr := service.New(cfg)
+	ts := httptest.NewServer(newMux(mgr, 1<<20))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return ts, mgr
+}
+
+func httpJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case []byte:
+		rd = bytes.NewReader(b)
+	default:
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollDone fetches the job until it reaches a terminal state.
+func pollDone(t *testing.T, base, id string) *service.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var info service.JobInfo
+		if code := httpJSON(t, http.MethodGet, base+"/v1/jobs/"+id, nil, &info); code != http.StatusOK {
+			t.Fatalf("GET job: status %d", code)
+		}
+		if info.State.Terminal() {
+			return &info
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return nil
+}
+
+func jobOptions(strategy string) map[string]any {
+	return map[string]any{
+		"strategy": strategy, "budget_width": 8, "min_frac": 4, "max_frac": 10, "seed": 1,
+	}
+}
+
+// TestDaemonEndToEnd is the acceptance gate: every registry system crossed
+// with every registered strategy, submitted concurrently over HTTP, must
+// come back bit-identical to a direct wlopt.RunStrategy call with an
+// independent engine.
+func TestDaemonEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 4})
+	registry, err := systems.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := wlopt.Strategies()
+
+	type tc struct {
+		system, strategy string
+	}
+	results := make(map[tc]*service.JobInfo)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sys := range registry {
+		for _, strat := range strategies {
+			wg.Add(1)
+			go func(system, strat string) {
+				defer wg.Done()
+				var info service.JobInfo
+				code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+					map[string]any{"system": system, "options": jobOptions(strat)}, &info)
+				if code != http.StatusAccepted && code != http.StatusOK {
+					t.Errorf("%s/%s: submit status %d", system, strat, code)
+					return
+				}
+				fin := pollDone(t, ts.URL, info.ID)
+				mu.Lock()
+				results[tc{system, strat}] = fin
+				mu.Unlock()
+			}(sys.Name(), strat)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(results) != len(registry)*len(strategies) {
+		t.Fatalf("%d results, want %d", len(results), len(registry)*len(strategies))
+	}
+
+	for _, sys := range registry {
+		for _, strat := range strategies {
+			got := results[tc{sys.Name(), strat}]
+			if got.State != service.JobDone {
+				t.Fatalf("%s/%s: state %s (%s)", sys.Name(), strat, got.State, got.Error)
+			}
+			g, err := sys.Graph(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := core.NewEngine(64, 1)
+			probe, err := eng.EvaluateAssignment(g, core.UniformAssignment(g.NoiseSources(), 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := wlopt.RunStrategy(g, strat, wlopt.Options{
+				Budget: probe.Power, MinFrac: 4, MaxFrac: 10, Evaluator: eng, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := got.Result
+			if r == nil {
+				t.Fatalf("%s/%s: no result", sys.Name(), strat)
+			}
+			if got.Budget != probe.Power {
+				t.Fatalf("%s/%s: budget %g, want %g", sys.Name(), strat, got.Budget, probe.Power)
+			}
+			if r.Power != want.Power || r.Cost != want.Cost ||
+				r.Evaluations != want.Evaluations ||
+				r.UniformFrac != want.UniformFrac || r.UniformCost != want.UniformCost ||
+				!reflect.DeepEqual(r.Fracs, want.Fracs) {
+				t.Fatalf("%s/%s: HTTP result diverges from direct run:\n%+v\nvs\n%+v",
+					sys.Name(), strat, r, want)
+			}
+		}
+	}
+}
+
+// TestDaemonDuplicateSubmissionHitsCache verifies the content-addressed
+// result cache end to end, via the cache-hit counter on /healthz.
+func TestDaemonDuplicateSubmissionHitsCache(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+	body := map[string]any{"system": "dwt97(fig3)", "options": jobOptions("hybrid")}
+
+	var first service.JobInfo
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &first); code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	fin := pollDone(t, ts.URL, first.ID)
+	if fin.State != service.JobDone || fin.CacheHit {
+		t.Fatalf("first run: %+v", fin)
+	}
+
+	var second service.JobInfo
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", body, &second); code != http.StatusOK {
+		t.Fatalf("duplicate submit status %d (want 200 cache hit)", code)
+	}
+	if !second.CacheHit || second.State != service.JobDone {
+		t.Fatalf("duplicate not served from cache: %+v", second)
+	}
+	if !reflect.DeepEqual(second.Result, fin.Result) {
+		t.Fatalf("cached result differs:\n%+v\nvs\n%+v", second.Result, fin.Result)
+	}
+
+	var health struct {
+		Status string        `json:"status"`
+		Stats  service.Stats `json:"stats"`
+	}
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health.Status != "ok" || health.Stats.CacheHits != 1 {
+		t.Fatalf("healthz %+v, want 1 cache hit", health)
+	}
+}
+
+// TestDaemonCancelViaDelete cancels an in-flight job over HTTP and checks
+// it stops within one greedy step, returning the best-so-far assignment.
+func TestDaemonCancelViaDelete(t *testing.T) {
+	// Throttle steps so the cancel window is wide regardless of load.
+	ts, _ := newTestServer(t, service.Config{Workers: 1, StepThrottle: 30 * time.Millisecond})
+	var info service.JobInfo
+	code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", map[string]any{
+		"system":  "dwt97(fig3)",
+		"options": map[string]any{"strategy": "descent", "budget_width": 8, "min_frac": 4, "max_frac": 14, "seed": 1},
+	}, &info)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+
+	// Watch over SSE until the first progress event proves the search is
+	// mid-flight.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch content type %q", ct)
+	}
+	stepAtCancel := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if ev.Type == "progress" && ev.Step >= 1 {
+			stepAtCancel = ev.Step
+			break
+		}
+		if ev.Terminal {
+			t.Fatalf("job finished before any progress event: %+v", ev)
+		}
+	}
+	if stepAtCancel == 0 {
+		t.Fatalf("no progress event observed: %v", sc.Err())
+	}
+
+	var cancelled service.JobInfo
+	if code := httpJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+info.ID, nil, &cancelled); code != http.StatusAccepted {
+		t.Fatalf("DELETE status %d", code)
+	}
+	fin := pollDone(t, ts.URL, info.ID)
+	if fin.State != service.JobCancelled {
+		t.Fatalf("state %s after DELETE (error %q)", fin.State, fin.Error)
+	}
+	if fin.Result == nil || !fin.Result.Cancelled {
+		t.Fatalf("cancelled job lacks best-so-far result: %+v", fin.Result)
+	}
+	if fin.Step > stepAtCancel+1 {
+		t.Fatalf("search ran %d steps past the cancel (step %d -> %d)",
+			fin.Step-stepAtCancel, stepAtCancel, fin.Step)
+	}
+}
+
+// TestDaemonRawSpecSubmission POSTs an example spec file verbatim — the
+// curl walkthrough from the README.
+func TestDaemonRawSpecSubmission(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "specs", "comb-notch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info service.JobInfo
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", data, &info); code != http.StatusAccepted {
+		t.Fatalf("raw spec submit status %d", code)
+	}
+	fin := pollDone(t, ts.URL, info.ID)
+	if fin.State != service.JobDone {
+		t.Fatalf("state %s (%s)", fin.State, fin.Error)
+	}
+	if fin.System != "comb-notch" || fin.Strategy != "hybrid" {
+		t.Fatalf("spec identity lost: %+v", fin)
+	}
+}
+
+// TestDaemonErrorsAndListing covers the remaining routes and status codes.
+func TestDaemonErrorsAndListing(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/jobs/j999999", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", code)
+	}
+	if code := httpJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/j999999", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown delete status %d", code)
+	}
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(`{"system":"nope","options":{"budget_width":8}}`), &e); code != http.StatusNotFound {
+		t.Fatalf("unknown system status %d: %+v", code, e)
+	}
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(`not json`), &e); code != http.StatusBadRequest {
+		t.Fatalf("garbage body status %d", code)
+	}
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(`{"options":{"budget_width":8}}`), &e); code != http.StatusBadRequest {
+		t.Fatalf("empty request status %d", code)
+	}
+	// A typoed field inside the {"spec": ...} envelope must be rejected,
+	// not silently dropped — same strictness as a raw-spec POST.
+	typo := `{"spec":{"nodes":[{"name":"a","kind":"input","noise":{"frac":12,"frac_inn":16}},{"name":"o","kind":"output"}],"edges":[["a","o"]]},"options":{"budget_width":8}}`
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(typo), &e); code != http.StatusBadRequest {
+		t.Fatalf("typoed spec field accepted with status %d", code)
+	}
+
+	var sys []service.SystemInfo
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/systems", nil, &sys); code != http.StatusOK {
+		t.Fatalf("systems status %d", code)
+	}
+	if len(sys) != 6 {
+		t.Fatalf("%d systems listed", len(sys))
+	}
+
+	var info service.JobInfo
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs",
+		map[string]any{"system": sys[0].Name, "options": jobOptions("descent")}, &info); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	pollDone(t, ts.URL, info.ID)
+	var list []service.JobInfo
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil, &list); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(list) != 1 || list[0].ID != info.ID {
+		t.Fatalf("listing %+v", list)
+	}
+}
+
+// TestDaemonBodyLimit pins the request size guard.
+func TestDaemonBodyLimit(t *testing.T) {
+	mgr := service.New(service.Config{NPSD: 64, Workers: 1})
+	ts := httptest.NewServer(newMux(mgr, 128)) // tiny limit
+	t.Cleanup(func() { ts.Close(); mgr.Close() })
+	big := fmt.Sprintf(`{"system":"dwt97(fig3)","options":{"budget_width":8},"pad":%q}`,
+		strings.Repeat("x", 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(big), &e); code != http.StatusBadRequest {
+		t.Fatalf("oversized body status %d (%+v)", code, e)
+	}
+}

@@ -1,0 +1,53 @@
+package service
+
+import "container/list"
+
+// lruCache is a minimal LRU map used for both the content-addressed result
+// cache and the per-digest graph cache. It is not concurrency-safe; the
+// Manager guards it with its own mutex.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	// onEvict, when set, observes evicted values (the graph cache uses it
+	// to drop engine plans).
+	onEvict func(key string, val any)
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(cap int) *lruCache {
+	return &lruCache{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		en := oldest.Value.(*lruEntry)
+		delete(c.items, en.key)
+		if c.onEvict != nil {
+			c.onEvict(en.key, en.val)
+		}
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,298 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/wlopt"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	// JobQueued means the job is waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning means a worker is executing the search.
+	JobRunning JobState = "running"
+	// JobDone means the search finished and Result is valid.
+	JobDone JobState = "done"
+	// JobFailed means the search errored; Error is set.
+	JobFailed JobState = "failed"
+	// JobCancelled means the job was cancelled; a job cancelled mid-run
+	// still carries the best-so-far Result (with Result.Cancelled set).
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobResult is the wire form of wlopt.Result.
+type JobResult struct {
+	Strategy    string         `json:"strategy"`
+	Fracs       map[string]int `json:"fracs"`
+	Power       float64        `json:"power"`
+	Cost        float64        `json:"cost"`
+	Evaluations int            `json:"evaluations"`
+	UniformFrac int            `json:"uniform_frac"`
+	UniformCost float64        `json:"uniform_cost"`
+	Cancelled   bool           `json:"cancelled,omitempty"`
+}
+
+func toJobResult(r *wlopt.Result) *JobResult {
+	if r == nil {
+		return nil
+	}
+	return &JobResult{
+		Strategy:    r.Strategy,
+		Fracs:       r.Fracs,
+		Power:       r.Power,
+		Cost:        r.Cost,
+		Evaluations: r.Evaluations,
+		UniformFrac: r.UniformFrac,
+		UniformCost: r.UniformCost,
+		Cancelled:   r.Cancelled,
+	}
+}
+
+// JobInfo is a point-in-time snapshot of a job, as returned by the API.
+type JobInfo struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	System string   `json:"system,omitempty"`
+	// Digest is the content hash of the submitted system; together with
+	// the options fingerprint it is the job's cache identity.
+	Digest   string `json:"digest"`
+	Strategy string `json:"strategy"`
+	// CacheHit marks a submission answered from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Budget is the resolved absolute noise-power budget (0 until the
+	// budget-width probe has run).
+	Budget float64 `json:"budget,omitempty"`
+	// Step and Evaluations mirror the latest progress event.
+	Step        int        `json:"step,omitempty"`
+	Evaluations int        `json:"evaluations,omitempty"`
+	Submitted   time.Time  `json:"submitted"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	Error       string     `json:"error,omitempty"`
+}
+
+// Event is one element of a job's progress stream.
+type Event struct {
+	Seq   int      `json:"seq"`
+	Type  string   `json:"type"` // "state" | "progress"
+	JobID string   `json:"job_id"`
+	State JobState `json:"state,omitempty"`
+	// Progress payload (Type == "progress").
+	Step        int     `json:"step,omitempty"`
+	Cost        float64 `json:"cost,omitempty"`
+	Power       float64 `json:"power,omitempty"`
+	Evaluations int     `json:"evaluations,omitempty"`
+	// Terminal marks the last event of the stream.
+	Terminal bool `json:"terminal,omitempty"`
+}
+
+// job is the manager-internal state; all mutable fields are guarded by mu.
+type job struct {
+	id      string
+	sysName string
+	sp      *spec.Spec
+	opts    spec.Options // defaulted
+	digest  string
+	key     string // digest + options fingerprint
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	cacheHit  bool
+	budget    float64
+	step      int
+	evals     int
+	res       *wlopt.Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	events  []Event
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// snapshot renders the job as a JobInfo under its lock.
+func (j *job) snapshot() *JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := &JobInfo{
+		ID:          j.id,
+		State:       j.state,
+		System:      j.sysName,
+		Digest:      j.digest,
+		Strategy:    j.opts.Strategy,
+		CacheHit:    j.cacheHit,
+		Budget:      j.budget,
+		Step:        j.step,
+		Evaluations: j.evals,
+		Submitted:   j.submitted,
+		Result:      toJobResult(j.res),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		info.Finished = &t
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// publishLocked appends an event to the history and fans it out; j.mu must
+// be held. Sends never block: a subscriber that stops draining loses
+// events rather than stalling the worker (channels are buffered generously,
+// and every subscriber got the full history on subscription).
+func (j *job) publishLocked(ev Event) {
+	ev.Seq = len(j.events) + 1
+	ev.JobID = j.id
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	if ev.Terminal {
+		for id, ch := range j.subs {
+			close(ch)
+			delete(j.subs, id)
+		}
+	}
+}
+
+// setState transitions the job and publishes a state event.
+func (j *job) setState(s JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.setStateLocked(s)
+}
+
+// setStateLocked is setState with j.mu already held. Transitions out of a
+// terminal state are ignored, so racing finishers cannot double-publish.
+func (j *job) setStateLocked(s JobState) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = s
+	switch s {
+	case JobRunning:
+		j.started = time.Now()
+	case JobDone, JobFailed, JobCancelled:
+		j.finished = time.Now()
+	}
+	j.publishLocked(Event{Type: "state", State: s, Terminal: s.Terminal()})
+}
+
+// begin atomically moves a queued job to running; it reports false when
+// the job was cancelled (or otherwise left the queued state) first — the
+// worker then skips it.
+func (j *job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	if j.ctx.Err() != nil {
+		j.setStateLocked(JobCancelled)
+		j.cancel()
+		return false
+	}
+	j.setStateLocked(JobRunning)
+	return true
+}
+
+// cancelNow cancels the job's context and, for a job still waiting in the
+// queue, publishes the terminal state immediately instead of when a worker
+// eventually pops it — callers and watchers see "cancelled" right away.
+// Running jobs keep their state until the search notices the context at
+// its next step.
+func (j *job) cancelNow() {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.setStateLocked(JobCancelled)
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// progress records one search step and publishes it.
+func (j *job) progress(ev wlopt.ProgressEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.step = ev.Step
+	j.evals = ev.Evaluations
+	j.publishLocked(Event{Type: "progress", Step: ev.Step, Cost: ev.Cost, Power: ev.Power, Evaluations: ev.Evaluations})
+}
+
+// finish records the outcome, publishes the terminal state, and releases
+// the job's context registration (a terminal job must not stay parented
+// under the manager's base context, or a long-running daemon accumulates
+// one child context per submission ever made).
+func (j *job) finish(res *wlopt.Result, err error) {
+	j.mu.Lock()
+	j.res = res
+	j.err = err
+	if res != nil {
+		j.evals = res.Evaluations
+	}
+	j.mu.Unlock()
+	switch {
+	case err != nil:
+		j.setState(JobFailed)
+	case res != nil && res.Cancelled:
+		j.setState(JobCancelled)
+	default:
+		j.setState(JobDone)
+	}
+	j.cancel()
+}
+
+// subscribe registers a watcher: it receives the full event history
+// followed by live events; the channel closes after the terminal event.
+// The returned func unsubscribes (idempotent).
+func (j *job) subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, len(j.events)+512)
+	for _, ev := range j.events {
+		ch <- ev
+	}
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+	}
+}

@@ -1,0 +1,609 @@
+// Package service is the in-process core of optimization-as-a-service: a
+// job manager that accepts system specs (inline, or by registry name),
+// deduplicates identical work through a content-addressed result cache
+// keyed by (spec.Digest, options fingerprint), schedules jobs across a
+// bounded worker pool sharing one plan-cached core.Engine — so repeated
+// requests against the same system reuse its frozen topology snapshot,
+// frequency responses and transfer profiles — supports cooperative
+// cancellation threaded through wlopt.Options.Context, and streams
+// per-step progress events to any number of watchers per job.
+//
+// The HTTP daemon in cmd/wloptd is a thin shell over this package; the
+// package itself is embeddable (the benchmarks drive it in-process).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sfg"
+	"repro/internal/spec"
+	"repro/internal/systems"
+	"repro/internal/wlopt"
+)
+
+// Config sizes the manager.
+type Config struct {
+	// NPSD is the evaluation engine's bin count; <= 0 selects 256.
+	NPSD int
+	// Workers bounds concurrently running jobs; <= 0 selects GOMAXPROCS.
+	Workers int
+	// InnerWorkers is the per-job oracle pool width; <= 0 selects 1
+	// (job-level parallelism already saturates the machine).
+	InnerWorkers int
+	// ResultCacheSize bounds the content-addressed result cache;
+	// <= 0 selects 128.
+	ResultCacheSize int
+	// GraphCacheSize bounds the per-digest graph (and engine plan) cache;
+	// <= 0 selects 16.
+	GraphCacheSize int
+	// QueueSize bounds jobs waiting for a worker; <= 0 selects 256.
+	// Submit fails with ErrQueueFull beyond it — the service sheds load
+	// instead of buffering without bound.
+	QueueSize int
+	// JobHistory bounds retained terminal jobs; <= 0 selects 1024.
+	JobHistory int
+	// StepThrottle inserts a pause after every search step. Zero for
+	// production; tests use it to make in-flight cancellation windows
+	// deterministic, demos to make progress streams watchable.
+	StepThrottle time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.NPSD <= 0 {
+		c.NPSD = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.InnerWorkers <= 0 {
+		c.InnerWorkers = 1
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 128
+	}
+	if c.GraphCacheSize <= 0 {
+		c.GraphCacheSize = 16
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	return c
+}
+
+// Request is one job submission: a system (inline spec, or the name of a
+// systems.Registry entry) plus optimizer options. When Options is entirely
+// unset, the options embedded in the spec apply.
+type Request struct {
+	System  string       `json:"system,omitempty"`
+	Spec    *spec.Spec   `json:"spec,omitempty"`
+	Options spec.Options `json:"options"`
+}
+
+// Sentinel errors, distinguished so the HTTP layer can map them to status
+// codes.
+var (
+	// ErrBadRequest wraps submission validation failures (HTTP 400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrNotFound marks unknown job IDs and system names (HTTP 404).
+	ErrNotFound = errors.New("not found")
+	// ErrQueueFull means the pending queue is at capacity (HTTP 503).
+	ErrQueueFull = errors.New("queue full")
+	// ErrClosed means the manager is shutting down (HTTP 503).
+	ErrClosed = errors.New("service closed")
+)
+
+// Stats is a point-in-time census, exposed on /healthz.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+	Cancelled int   `json:"cancelled"`
+	// CacheHits counts submissions answered from the result cache.
+	CacheHits int64 `json:"cache_hits"`
+	// ResultCacheLen is the current result-cache population.
+	ResultCacheLen int `json:"result_cache_len"`
+	// GraphCacheLen is the current graph-cache population.
+	GraphCacheLen int `json:"graph_cache_len"`
+}
+
+// SystemInfo describes one registry system on GET /v1/systems.
+type SystemInfo struct {
+	Name string `json:"name"`
+	// Digest is the system's content hash at the default 16-bit export
+	// width (width-dependent noise models hash differently at other
+	// widths; see systems.SpecFor).
+	Digest string `json:"digest"`
+	Nodes  int    `json:"nodes"`
+	// Sources is the number of optimizable noise sources.
+	Sources int `json:"sources"`
+}
+
+// cachedResult is one result-cache entry.
+type cachedResult struct {
+	res    *wlopt.Result
+	budget float64
+}
+
+// graphEntry serializes use of one cached graph: the optimizer mutates
+// source widths in place, so two jobs on the same digest take turns while
+// jobs on different digests run concurrently.
+type graphEntry struct {
+	mu sync.Mutex
+	g  *sfg.Graph
+}
+
+// Manager is the service core. Create with New, dispose with Close.
+type Manager struct {
+	cfg Config
+	eng *core.Engine
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	jobs      map[string]*job
+	order     []string // insertion order, for history eviction
+	seq       int64
+	submitted int64
+	cacheHits int64
+	results   *lruCache // key -> *cachedResult
+	graphs    *lruCache // digest -> *graphEntry
+	regSpecs  map[string]regEntry
+
+	sysOnce sync.Once
+	sysList []SystemInfo
+	sysErr  error
+}
+
+// New starts a manager with cfg.Workers worker goroutines.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		eng:        core.NewEngine(cfg.NPSD, cfg.InnerWorkers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueSize),
+		jobs:       make(map[string]*job),
+		results:    newLRU(cfg.ResultCacheSize),
+		graphs:     newLRU(cfg.GraphCacheSize),
+		regSpecs:   make(map[string]regEntry),
+	}
+	// Keep one engine plan per cached graph: the plan cache is the point
+	// of sharing the engine across requests.
+	m.eng.SetPlanCacheCap(cfg.GraphCacheSize)
+	m.graphs.onEvict = func(_ string, val any) {
+		m.eng.Invalidate(val.(*graphEntry).g)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close stops accepting submissions, cancels every queued and running job,
+// and waits for the workers to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.baseCancel()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// Submit validates, resolves and enqueues one job. A submission whose
+// (digest, options) key is in the result cache returns an already-done job
+// without touching the queue.
+func (m *Manager) Submit(req Request) (*JobInfo, error) {
+	sysName, sp, opts, digest, err := m.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	key := digest + "|" + opts.Fingerprint()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.seq++
+	m.submitted++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", m.seq),
+		sysName:   sysName,
+		sp:        sp,
+		opts:      opts,
+		digest:    digest,
+		key:       key,
+		state:     JobQueued,
+		submitted: time.Now(),
+		subs:      make(map[int]chan Event),
+	}
+	j.ctx, j.cancel = context.WithCancel(m.baseCtx)
+	// Publish the initial state before the job is visible to workers or
+	// watchers, so the event history always starts with "queued" and a
+	// worker's "running" transition can never be overwritten.
+	j.mu.Lock()
+	j.publishLocked(Event{Type: "state", State: JobQueued})
+	j.mu.Unlock()
+	if hit, ok := m.results.get(key); ok {
+		cr := hit.(*cachedResult)
+		m.cacheHits++
+		j.cacheHit = true
+		j.budget = cr.budget
+		m.registerLocked(j)
+		m.mu.Unlock()
+		j.finish(cr.res, nil)
+		return j.snapshot(), nil
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.seq-- // job was never registered
+		m.submitted--
+		m.mu.Unlock()
+		j.cancel() // release the context registration
+		return nil, ErrQueueFull
+	}
+	m.registerLocked(j)
+	m.mu.Unlock()
+	return j.snapshot(), nil
+}
+
+// registerLocked adds the job to the index and evicts old terminal jobs
+// beyond the history bound; m.mu must be held.
+func (m *Manager) registerLocked(j *job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	for len(m.order) > m.cfg.JobHistory {
+		victim, ok := m.jobs[m.order[0]]
+		if ok {
+			victim.mu.Lock()
+			terminal := victim.state.Terminal()
+			victim.mu.Unlock()
+			if !terminal {
+				break // never evict live jobs; the queue bounds them
+			}
+			delete(m.jobs, victim.id)
+		}
+		m.order = m.order[1:]
+	}
+}
+
+// resolve turns a Request into (system name, spec, defaulted options,
+// digest). Inline specs are validated once, by the Digest computation;
+// registry systems reuse a memoized spec + digest, so warm submissions by
+// name never rebuild a graph.
+func (m *Manager) resolve(req Request) (string, *spec.Spec, spec.Options, string, error) {
+	var zero spec.Options
+	if (req.System == "") == (req.Spec == nil) {
+		return "", nil, zero, "", fmt.Errorf("%w: exactly one of system and spec must be set", ErrBadRequest)
+	}
+	opts := req.Options
+	if opts.IsZero() && req.Spec != nil && req.Spec.Options != nil {
+		opts = *req.Spec.Options
+	}
+	opts = opts.WithDefaults()
+	if err := opts.Validate(); err != nil {
+		return "", nil, zero, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if _, ok := wlopt.Lookup(opts.Strategy); !ok {
+		return "", nil, zero, "", fmt.Errorf("%w: unknown strategy %q (registered: %v)", ErrBadRequest, opts.Strategy, wlopt.Strategies())
+	}
+	if req.Spec != nil {
+		digest, err := req.Spec.Digest() // validates the spec as a side effect
+		if err != nil {
+			return "", nil, zero, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return req.Spec.Name, req.Spec, opts, digest, nil
+	}
+	en, err := m.registrySpec(req.System, opts.MaxFrac)
+	if err != nil {
+		return "", nil, zero, "", err
+	}
+	return req.System, en.sp, opts, en.digest, nil
+}
+
+// regEntry memoizes one registry system's exported spec and digest per
+// export width.
+type regEntry struct {
+	sp     *spec.Spec
+	digest string
+}
+
+// registrySpec exports (and memoizes) the spec of a registry system at the
+// given width.
+func (m *Manager) registrySpec(name string, maxFrac int) (regEntry, error) {
+	key := fmt.Sprintf("%s@%d", name, maxFrac)
+	m.mu.Lock()
+	if en, ok := m.regSpecs[key]; ok {
+		m.mu.Unlock()
+		return en, nil
+	}
+	m.mu.Unlock()
+	registry, err := systems.Registry()
+	if err != nil {
+		return regEntry{}, err
+	}
+	for _, sys := range registry {
+		if sys.Name() == name {
+			sp, err := systems.SpecFor(sys, maxFrac)
+			if err != nil {
+				return regEntry{}, err
+			}
+			digest, err := sp.Digest()
+			if err != nil {
+				return regEntry{}, err
+			}
+			en := regEntry{sp: sp, digest: digest}
+			m.mu.Lock()
+			m.regSpecs[key] = en
+			m.mu.Unlock()
+			return en, nil
+		}
+	}
+	return regEntry{}, fmt.Errorf("%w: unknown system %q", ErrNotFound, name)
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	// Reading from the closed queue drains the buffered backlog first, so
+	// shutdown marks leftover jobs cancelled (their context is already
+	// dead) instead of abandoning them silently.
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job on the calling worker goroutine.
+func (m *Manager) run(j *job) {
+	if !j.begin() {
+		return
+	}
+	entry, err := m.graphFor(j)
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	// One job per graph at a time: the optimizer mutates source widths in
+	// place. Jobs on different digests proceed concurrently.
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	g := entry.g
+
+	budget := j.opts.Budget
+	if j.opts.BudgetWidth > 0 {
+		probe, err := m.eng.EvaluateAssignment(g, core.UniformAssignment(g.NoiseSources(), j.opts.BudgetWidth))
+		if err != nil {
+			j.finish(nil, fmt.Errorf("budget probe at %d bits: %w", j.opts.BudgetWidth, err))
+			return
+		}
+		budget = probe.Power
+	}
+	j.mu.Lock()
+	j.budget = budget
+	j.mu.Unlock()
+
+	res, err := wlopt.RunStrategy(g, j.opts.Strategy, wlopt.Options{
+		Budget:       budget,
+		MinFrac:      j.opts.MinFrac,
+		MaxFrac:      j.opts.MaxFrac,
+		CostPerBit:   j.opts.CostPerBit,
+		Evaluator:    m.eng,
+		Seed:         j.opts.Seed,
+		AnnealRounds: j.opts.AnnealRounds,
+		Context:      j.ctx,
+		Progress: func(ev wlopt.ProgressEvent) {
+			j.progress(ev)
+			m.throttle(j.ctx)
+		},
+	})
+	if err == nil && res != nil && !res.Cancelled {
+		m.mu.Lock()
+		m.results.put(j.key, &cachedResult{res: res, budget: budget})
+		m.mu.Unlock()
+	}
+	j.finish(res, err)
+}
+
+// throttle sleeps Config.StepThrottle, cut short by cancellation.
+func (m *Manager) throttle(ctx context.Context) {
+	if m.cfg.StepThrottle <= 0 {
+		return
+	}
+	t := time.NewTimer(m.cfg.StepThrottle)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// graphFor returns the cached graph for the job's digest, building it on
+// first use.
+func (m *Manager) graphFor(j *job) (*graphEntry, error) {
+	m.mu.Lock()
+	if e, ok := m.graphs.get(j.digest); ok {
+		m.mu.Unlock()
+		return e.(*graphEntry), nil
+	}
+	m.mu.Unlock()
+	// Build outside the manager lock: construction designs filters and
+	// can take a while.
+	g, err := j.sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	e := &graphEntry{g: g}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.graphs.get(j.digest); ok {
+		return prev.(*graphEntry), nil // lost the build race; use theirs
+	}
+	m.graphs.put(j.digest, e)
+	return e, nil
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (*JobInfo, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	return j.snapshot(), nil
+}
+
+// List snapshots every retained job in submission order.
+func (m *Manager) List() []*JobInfo {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]*JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Cancel requests cooperative cancellation: a queued job terminates
+// immediately (the worker that eventually pops it skips it), a running one
+// stops at its next greedy step with the best-so-far result. Cancelling a
+// terminal job is a no-op.
+func (m *Manager) Cancel(id string) (*JobInfo, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	j.cancelNow()
+	return j.snapshot(), nil
+}
+
+// Watch subscribes to the job's event stream: the full history replays
+// first, then live events; the channel closes after the terminal event.
+// Call the returned func to unsubscribe early.
+func (m *Manager) Watch(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	ch, stop := j.subscribe()
+	return ch, stop, nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires) and
+// returns its final snapshot. The snapshot is taken from the job itself,
+// so the result survives even if newer submissions evict the job from the
+// retained history while Wait is blocked.
+func (m *Manager) Wait(ctx context.Context, id string) (*JobInfo, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	ch, stop := j.subscribe()
+	defer stop()
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return j.snapshot(), nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Stats reports the census.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Submitted:      m.submitted,
+		CacheHits:      m.cacheHits,
+		ResultCacheLen: m.results.len(),
+		GraphCacheLen:  m.graphs.len(),
+	}
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		s := j.state
+		j.mu.Unlock()
+		switch s {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Systems lists the registry systems the service accepts by name, with
+// their content digests at the default export width.
+func (m *Manager) Systems() ([]SystemInfo, error) {
+	m.sysOnce.Do(func() {
+		const listWidth = 16
+		specs, err := systems.RegistrySpecs(listWidth)
+		if err != nil {
+			m.sysErr = err
+			return
+		}
+		for _, sp := range specs {
+			d, err := sp.Digest()
+			if err != nil {
+				m.sysErr = err
+				return
+			}
+			sources := 0
+			for i := range sp.Nodes {
+				if sp.Nodes[i].Noise != nil {
+					sources++
+				}
+			}
+			m.sysList = append(m.sysList, SystemInfo{
+				Name: sp.Name, Digest: d, Nodes: len(sp.Nodes), Sources: sources,
+			})
+		}
+	})
+	return m.sysList, m.sysErr
+}

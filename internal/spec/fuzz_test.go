@@ -1,0 +1,66 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecRoundTrip asserts the two format invariants over arbitrary
+// inputs that Parse accepts:
+//
+//  1. Parse -> Marshal -> Parse is a fixed point (the canonical form is
+//     stable: marshaling a reparsed document reproduces it byte for byte);
+//  2. Digest is invariant under node and edge reordering (here: reversal,
+//     which permutes every list with more than one element).
+//
+// CI runs this for 30 seconds per push as a smoke; longer local runs via
+// go test -fuzz=FuzzSpecRoundTrip ./internal/spec.
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add(readExample(f, "comb-notch.json"))
+	f.Add(readExample(f, "two-stage-decimator.json"))
+	f.Add([]byte(`{"nodes":[{"name":"a","kind":"input","noise":{"frac":8}},{"name":"o","kind":"output"}],"edges":[["a","o"]]}`))
+	f.Add([]byte(`{"nodes":[{"name":"a","kind":"input"},{"name":"f","kind":"filter","filter":{"b":[0.5,0.5]},"noise":{"name":"f.q","mode":"truncate","frac":6,"frac_in":12}},{"name":"o","kind":"output"}],"edges":[["a","f"],["f","o"]]}`))
+	f.Add([]byte(`{"nodes":[{"name":"a","kind":"input"},{"name":"g","kind":"gain","gain":2,"noise":{"override":{"mean":0,"variance":1e-9}}},{"name":"o","kind":"output"}],"edges":[["a","g"],["g","o"]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data)
+		if err != nil {
+			return // not a valid spec; nothing to check
+		}
+		m1, err := sp.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal of parsed spec failed: %v", err)
+		}
+		sp2, err := Parse(m1)
+		if err != nil {
+			t.Fatalf("reparse of marshaled spec failed: %v\n%s", err, m1)
+		}
+		m2, err := sp2.Marshal()
+		if err != nil {
+			t.Fatalf("second Marshal failed: %v", err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("Parse -> Marshal not a fixed point:\n%s\nvs\n%s", m1, m2)
+		}
+
+		d1, err := sp.Digest()
+		if err != nil {
+			t.Fatalf("Digest of parsed spec failed: %v", err)
+		}
+		rev := *sp2
+		rev.Nodes = append([]NodeSpec(nil), sp2.Nodes...)
+		rev.Edges = append([][2]string(nil), sp2.Edges...)
+		for i, j := 0, len(rev.Nodes)-1; i < j; i, j = i+1, j-1 {
+			rev.Nodes[i], rev.Nodes[j] = rev.Nodes[j], rev.Nodes[i]
+		}
+		for i, j := 0, len(rev.Edges)-1; i < j; i, j = i+1, j-1 {
+			rev.Edges[i], rev.Edges[j] = rev.Edges[j], rev.Edges[i]
+		}
+		d2, err := rev.Digest()
+		if err != nil {
+			t.Fatalf("Digest of reordered spec failed: %v", err)
+		}
+		if d1 != d2 {
+			t.Fatalf("digest not order-invariant: %s vs %s", d1, d2)
+		}
+	})
+}

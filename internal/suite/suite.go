@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/systems"
 	"repro/internal/wlopt"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// Strategies names the search strategies to run; empty selects every
 	// registered strategy.
 	Strategies []string
+	// Specs adds user-provided system specs to the sweep alongside the
+	// registry (cmd/suite -spec). Each must be a validated spec (Parse
+	// guarantees it) with at least one noise source.
+	Specs []*spec.Spec
 	// Workers bounds the number of cells in flight; <= 0 selects
 	// runtime.GOMAXPROCS(0). Cell results are identical for every pool
 	// width — only wall-clock time changes.
@@ -110,6 +115,20 @@ func (c Config) validate() error {
 			return fmt.Errorf("suite: unknown strategy %q (registered: %v)", name, known)
 		}
 	}
+	for i, sp := range c.Specs {
+		if err := sp.Validate(); err != nil {
+			return fmt.Errorf("suite: spec %d: %w", i, err)
+		}
+		sources := 0
+		for j := range sp.Nodes {
+			if sp.Nodes[j].Noise != nil {
+				sources++
+			}
+		}
+		if sources == 0 {
+			return fmt.Errorf("suite: spec %d (%q) has no noise sources", i, sp.Name)
+		}
+	}
 	return nil
 }
 
@@ -124,6 +143,10 @@ type Cell struct {
 	Power       float64 `json:"power"`
 	Sources     int     `json:"sources"`
 	Evaluations int     `json:"evaluations"`
+	// Digest is the system's spec content hash at the sweep's MaxFrac —
+	// the same identity the optimization service caches on, so suite rows
+	// and service jobs are joinable.
+	Digest string `json:"digest,omitempty"`
 	// EvalMode reports the engine path the cell's oracle settled on:
 	// "cached" (transfer-cache multiply-accumulate + delta moves) or
 	// "full" (per-source propagation fallback).
@@ -186,8 +209,11 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, sp := range cfg.Specs {
+		registry = append(registry, systems.FromSpec(sp))
+	}
 	rep := &Report{
-		Schema:       "repro/suite/v2",
+		Schema:       "repro/suite/v3",
 		NPSD:         cfg.NPSD,
 		MinFrac:      cfg.MinFrac,
 		MaxFrac:      cfg.MaxFrac,
@@ -209,12 +235,22 @@ func Run(cfg Config) (*Report, error) {
 		strategy    string
 		budgetWidth int
 		budget      float64
+		digest      string
 	}
 	var jobs []job
 	for _, sys := range registry {
 		g, err := sys.Graph(cfg.MaxFrac)
 		if err != nil {
 			return nil, fmt.Errorf("suite: %s graph: %w", sys.Name(), err)
+		}
+		// The digest ties the row to the service's content-addressed job
+		// identity; a system that cannot be expressed as a spec (custom
+		// nodes) simply reports none.
+		var digest string
+		if sp, err := systems.SpecFor(sys, cfg.MaxFrac); err == nil {
+			if d, err := sp.Digest(); err == nil {
+				digest = d
+			}
 		}
 		eng := core.NewEngine(cfg.NPSD, 1)
 		for _, w := range cfg.BudgetWidths {
@@ -223,7 +259,7 @@ func Run(cfg Config) (*Report, error) {
 				return nil, fmt.Errorf("suite: %s budget probe at %d bits: %w", sys.Name(), w, err)
 			}
 			for _, strategy := range cfg.Strategies {
-				jobs = append(jobs, job{sys: sys, strategy: strategy, budgetWidth: w, budget: probe.Power})
+				jobs = append(jobs, job{sys: sys, strategy: strategy, budgetWidth: w, budget: probe.Power, digest: digest})
 			}
 		}
 	}
@@ -237,19 +273,20 @@ func Run(cfg Config) (*Report, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rep.Cells[i] = runCell(jb.sys, jb.strategy, jb.budgetWidth, jb.budget, cfg)
+			rep.Cells[i] = runCell(jb.sys, jb.strategy, jb.budgetWidth, jb.budget, jb.digest, cfg)
 		}(i, jb)
 	}
 	wg.Wait()
 	return rep, nil
 }
 
-func runCell(sys systems.System, strategy string, budgetWidth int, budget float64, cfg Config) (cell Cell) {
+func runCell(sys systems.System, strategy string, budgetWidth int, budget float64, digest string, cfg Config) (cell Cell) {
 	cell = Cell{
 		System:      sys.Name(),
 		Strategy:    strategy,
 		BudgetWidth: budgetWidth,
 		Budget:      budget,
+		Digest:      digest,
 	}
 	start := time.Now()
 	defer func() { cell.WallMS = float64(time.Since(start).Microseconds()) / 1e3 }()
@@ -287,8 +324,8 @@ func runCell(sys systems.System, strategy string, budgetWidth int, budget float6
 func (r *Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "SUITE: %d systems x %d strategies x %d budgets (N_PSD=%d, widths [%d, %d], %d workers)\n",
 		len(r.Systems), len(r.Strategies), len(r.BudgetWidths), r.NPSD, r.MinFrac, r.MaxFrac, r.Workers)
-	fmt.Fprintf(w, "%-20s %-8s %4s %12s %8s %8s %7s %-6s %9s %9s %9s\n",
-		"system", "strategy", "b@d", "budget", "cost", "uniform", "evals", "mode", "opt", "wall", "status")
+	fmt.Fprintf(w, "%-20s %-8s %4s %12s %8s %8s %7s %-6s %9s %9s %-10s %s\n",
+		"system", "strategy", "b@d", "budget", "cost", "uniform", "evals", "mode", "opt", "wall", "digest", "status")
 	prev := ""
 	for _, c := range r.Cells {
 		if c.System != prev && prev != "" {
@@ -299,11 +336,21 @@ func (r *Report) Render(w io.Writer) {
 		if c.Err != "" {
 			status = "FAIL: " + c.Err
 		}
-		fmt.Fprintf(w, "%-20s %-8s %4d %12.3g %8.0f %8.0f %7d %-6s %8.1fms %8.1fms %s\n",
+		fmt.Fprintf(w, "%-20s %-8s %4d %12.3g %8.0f %8.0f %7d %-6s %8.1fms %8.1fms %-10s %s\n",
 			c.System, c.Strategy, c.BudgetWidth, c.Budget, c.Cost, c.UniformCost,
-			c.Evaluations, c.EvalMode, c.OptMS, c.WallMS, status)
+			c.Evaluations, c.EvalMode, c.OptMS, c.WallMS, shortDigest(c.Digest), status)
 	}
 	if n := r.Failures(); n > 0 {
 		fmt.Fprintf(w, "\n%d/%d cells FAILED\n", n, len(r.Cells))
 	}
+}
+
+// shortDigest abbreviates "sha256:<64 hex>" to its first 8 digits for the
+// table; the JSON report carries the full hash.
+func shortDigest(d string) string {
+	const prefix = "sha256:"
+	if len(d) > len(prefix)+8 {
+		return d[len(prefix) : len(prefix)+8]
+	}
+	return d
 }

@@ -3,9 +3,12 @@ package suite
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/spec"
 	"repro/internal/systems"
 	"repro/internal/wlopt"
 )
@@ -116,7 +119,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != "repro/suite/v2" {
+	if back.Schema != "repro/suite/v3" {
 		t.Fatalf("schema %q", back.Schema)
 	}
 	if len(back.Cells) != len(rep.Cells) || back.Cells[0] != rep.Cells[0] {
@@ -138,6 +141,58 @@ func TestRenderListsEveryCell(t *testing.T) {
 		if !strings.Contains(out, c.System) || !strings.Contains(out, c.Strategy) {
 			t.Fatalf("render missing cell %s/%s:\n%s", c.System, c.Strategy, out)
 		}
+	}
+}
+
+// TestSpecSystemsJoinTheSweep runs a user spec through the grid alongside
+// the registry and checks every row carries a digest.
+func TestSpecSystemsJoinTheSweep(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "specs", "comb-notch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortConfig()
+	cfg.Strategies = []string{"descent"}
+	cfg.Specs = []*spec.Spec{sp}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures() != 0 {
+		t.Fatalf("failures in sweep: %+v", rep.Cells)
+	}
+	found := false
+	for _, c := range rep.Cells {
+		if c.Digest == "" {
+			t.Fatalf("cell %s/%s has no digest", c.System, c.Strategy)
+		}
+		if c.System == "comb-notch" {
+			found = true
+			if c.Cost <= 0 || c.Power > c.Budget {
+				t.Fatalf("spec cell result suspicious: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("spec system missing from the sweep")
+	}
+	want := len(rep.Systems)
+	if want != 7 { // 6 registry + 1 spec
+		t.Fatalf("systems: %v", rep.Systems)
+	}
+
+	// A spec without noise sources is rejected upfront.
+	bad, err := spec.Parse([]byte(`{"nodes":[{"name":"a","kind":"input"},{"name":"o","kind":"output"}],"edges":[["a","o"]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Specs = []*spec.Spec{bad}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "no noise sources") {
+		t.Fatalf("expected no-noise-sources error, got %v", err)
 	}
 }
 

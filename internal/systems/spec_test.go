@@ -1,0 +1,163 @@
+package systems
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// TestRegistrySpecEquivalence is the spec <-> code golden: for every
+// registry system, the graph built from the exported spec must evaluate
+// bit-identically to the graph built by the system's own code, across
+// widths, and the digest must be stable across exports.
+func TestRegistrySpecEquivalence(t *testing.T) {
+	registry, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range registry {
+		t.Run(sys.Name(), func(t *testing.T) {
+			sp, err := SpecFor(sys, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d1, err := sp.Digest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A second export of a fresh instance hashes identically —
+			// the digest is a stable identity for the workload.
+			sp2, err := SpecFor(sys, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d2, _ := sp2.Digest(); d2 != d1 {
+				t.Fatalf("digest unstable across exports: %s vs %s", d2, d1)
+			}
+
+			eng := core.NewEngine(256, 1)
+			for _, d := range []int{8, 12, 16} {
+				// Export at d: systems with derived sources (FreqFilter)
+				// bake the width into override moments, so spec-vs-code
+				// equivalence is per export width.
+				spd, err := SpecFor(sys, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := sys.Graph(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := FromSpec(spd).Graph(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wr, err := eng.Evaluate(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gr, err := eng.Evaluate(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wr.Power != gr.Power || wr.Mean != gr.Mean || wr.Variance != gr.Variance {
+					t.Fatalf("d=%d: spec-built graph diverges: power %g vs %g, mean %g vs %g",
+						d, gr.Power, wr.Power, gr.Mean, wr.Mean)
+				}
+				if len(wr.PerSource) != len(gr.PerSource) {
+					t.Fatalf("d=%d: source count %d vs %d", d, len(gr.PerSource), len(wr.PerSource))
+				}
+				for i := range wr.PerSource {
+					if wr.PerSource[i] != gr.PerSource[i] {
+						t.Fatalf("d=%d: source %d diverges: %+v vs %+v",
+							d, i, gr.PerSource[i], wr.PerSource[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpecForWidthDependentModel pins the documented caveat: FreqFilter's
+// derived FFT-domain sources bake d into their override variance, so its
+// digest moves with the export width, while pure-PQN systems keep one
+// digest for all widths.
+func TestSpecForWidthDependentModel(t *testing.T) {
+	ff, err := NewFreqFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffA, err := SpecFor(ff, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffB, err := SpecFor(ff, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := ffA.Digest()
+	db, _ := ffB.Digest()
+	if da == db {
+		t.Fatal("freq-filter digest should depend on the export width (override variance)")
+	}
+
+	dwt := NewDWT()
+	dwtA, err := SpecFor(dwt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dwtB, err := SpecFor(dwt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ = dwtA.Digest()
+	db, _ = dwtB.Digest()
+	if da != db {
+		t.Fatalf("dwt digest should not depend on the export width: %s vs %s", da, db)
+	}
+}
+
+func TestFromSpecName(t *testing.T) {
+	sp, err := SpecFor(NewDWT(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromSpec(sp).Name(); got != "dwt97(fig3)" {
+		t.Fatalf("named spec system: %q", got)
+	}
+	anon := *sp
+	anon.Name = ""
+	if got := FromSpec(&anon).Name(); len(got) != len("spec:")+12 {
+		t.Fatalf("anonymous spec system name %q should be a digest prefix", got)
+	}
+}
+
+func TestRegistrySpecs(t *testing.T) {
+	specs, err := RegistrySpecs(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := RegistryNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(names) {
+		t.Fatalf("%d specs for %d systems", len(specs), len(names))
+	}
+	digests := map[string]string{}
+	for i, sp := range specs {
+		if sp.Name != names[i] {
+			t.Fatalf("spec %d named %q, want %q", i, sp.Name, names[i])
+		}
+		d, err := sp.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := digests[d]; dup {
+			t.Fatalf("digest collision between %q and %q", prev, sp.Name)
+		}
+		digests[d] = sp.Name
+	}
+	_ = spec.Version // keep the import honest about what this test pins
+}

@@ -72,6 +72,9 @@ func (annealStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 	cooling := math.Pow(0.02, 1/float64(rounds)) // temp ends at 2 % of start
 
 	for r := 0; r < rounds; r++ {
+		if o.Cancelled() {
+			break
+		}
 		props := make([]core.Assignment, 0, annealProposals)
 		moves := make([]core.Move, 0, annealProposals)
 		for k := 0; k < annealProposals; k++ {
@@ -110,6 +113,7 @@ func (annealStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 			}
 			break // one accepted move per round
 		}
+		o.StepDone(curCost, curPower)
 		temp *= cooling
 	}
 

@@ -55,10 +55,12 @@ func (ascentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 // second argument) until the budget is met, scoring every step's candidate
 // increments as one oracle round of Moves against the incumbent — the
 // delta path on move-capable evaluators. It returns the first feasible
-// assignment and its power. It is the core of the ascent strategy and the
-// first phase of the hybrid strategy.
+// assignment and its power. A cancelled run returns the incumbent even
+// though it is still over budget — the caller reports it with the
+// Cancelled flag. It is the core of the ascent strategy and the first
+// phase of the hybrid strategy.
 func climb(o *Oracle, opt Options, cur core.Assignment, power float64) (core.Assignment, float64, error) {
-	for power > opt.Budget {
+	for power > opt.Budget && !o.Cancelled() {
 		type cand struct {
 			id    sfg.NodeID
 			power float64
@@ -98,6 +100,7 @@ func climb(o *Oracle, opt Options, cur core.Assignment, power float64) (core.Ass
 		cur = cur.Clone()
 		cur[best.id]++
 		power = best.power
+		o.StepDone(o.Cost(cur), power)
 	}
 	return cur, power, nil
 }

@@ -51,11 +51,12 @@ func (descentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 // trim runs the greedy bit-removal loop from cur: every step scores all
 // feasible single-bit removals as one oracle round of Moves against the
 // incumbent — the delta path on move-capable evaluators — and takes the
-// one freeing the most cost, until no removal stays under the budget. It
+// one freeing the most cost, until no removal stays under the budget (or
+// the run is cancelled, in which case the incumbent is returned as is). It
 // is the whole of the descent strategy and the second phase of the hybrid
 // strategy.
 func trim(o *Oracle, opt Options, cur core.Assignment) (core.Assignment, error) {
-	for {
+	for !o.Cancelled() {
 		type cand struct {
 			id    sfg.NodeID
 			power float64
@@ -99,6 +100,7 @@ func trim(o *Oracle, opt Options, cur core.Assignment) (core.Assignment, error) 
 		})
 		cur = cur.Clone()
 		cur[feasible[0].id]--
+		o.StepDone(o.Cost(cur), feasible[0].power)
 	}
 	return cur, nil
 }

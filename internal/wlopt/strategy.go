@@ -81,11 +81,17 @@ func RunStrategy(g *sfg.Graph, name string, opt Options) (*Result, error) {
 	if len(g.NoiseSources()) == 0 {
 		return nil, fmt.Errorf("wlopt: graph has no noise sources")
 	}
-	res, err := s.Run(newOracle(g, opt), opt)
+	o := newOracle(g, opt)
+	o.strategy = s.Name()
+	res, err := s.Run(o, opt)
 	if err != nil {
 		return nil, err
 	}
 	res.Strategy = s.Name()
+	// The flag is set centrally so every strategy reports cancellation the
+	// same way: strategies react to a cancelled context by breaking out of
+	// their search loops with the best-so-far assignment.
+	res.Cancelled = o.Cancelled()
 	return res, nil
 }
 

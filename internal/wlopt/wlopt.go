@@ -18,6 +18,7 @@
 package wlopt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -51,6 +52,31 @@ type Options struct {
 	// AnnealRounds bounds the annealing strategy's proposal rounds;
 	// <= 0 selects a default scaled to the source count.
 	AnnealRounds int
+	// Context cancels an in-flight search cooperatively: every strategy
+	// polls it between greedy steps (via Oracle.Cancelled) and stops
+	// early, returning the best assignment reached so far with
+	// Result.Cancelled set instead of an error. nil means
+	// context.Background() — never cancelled.
+	Context context.Context
+	// Progress, when non-nil, receives one event after every completed
+	// search step (a greedy bit move, or an annealing round). It is
+	// called synchronously from the search goroutine, so it must be
+	// cheap or hand off to a channel.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed search step of a running strategy —
+// the unit the service layer streams to watchers.
+type ProgressEvent struct {
+	// Strategy names the running search procedure.
+	Strategy string
+	// Step counts completed search steps, starting at 1.
+	Step int
+	// Cost and Power describe the incumbent assignment after the step.
+	Cost  float64
+	Power float64
+	// Evaluations is the oracle-call count so far.
+	Evaluations int
 }
 
 func (opt Options) seed() int64 {
@@ -78,6 +104,10 @@ type Result struct {
 	UniformFrac int
 	// UniformCost is the cost of that uniform assignment.
 	UniformCost float64
+	// Cancelled reports that Options.Context was cancelled before the
+	// search finished: the assignment is the best one reached, not the
+	// strategy's fixed point, and may not meet the budget.
+	Cancelled bool
 }
 
 // Oracle is the strategy-facing view of the accuracy oracle: it scores
@@ -94,6 +124,11 @@ type Oracle struct {
 	mover       core.MoveEvaluator
 	weight      func(string) float64
 	evaluations int
+
+	ctx      context.Context
+	progress func(ProgressEvent)
+	strategy string
+	steps    int
 }
 
 func newOracle(g *sfg.Graph, opt Options) *Oracle {
@@ -101,7 +136,12 @@ func newOracle(g *sfg.Graph, opt Options) *Oracle {
 	if ev == nil {
 		ev = core.NewEngine(256, opt.Workers)
 	}
-	o := &Oracle{g: g, sources: g.NoiseSources(), ev: ev, weight: weightFn(opt)}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := &Oracle{g: g, sources: g.NoiseSources(), ev: ev, weight: weightFn(opt),
+		ctx: ctx, progress: opt.Progress}
 	if b, ok := ev.(core.BatchEvaluator); ok {
 		o.batch = b
 	}
@@ -110,6 +150,37 @@ func newOracle(g *sfg.Graph, opt Options) *Oracle {
 	}
 	return o
 }
+
+// Cancelled reports whether the run's context has been cancelled.
+// Strategies poll it between search steps; once it returns true they stop
+// exploring and return the best assignment reached so far.
+func (o *Oracle) Cancelled() bool {
+	select {
+	case <-o.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// StepDone records one completed search step, describing the incumbent
+// assignment, and forwards it to Options.Progress when set. Strategies
+// call it once per greedy move or annealing round.
+func (o *Oracle) StepDone(cost, power float64) {
+	o.steps++
+	if o.progress != nil {
+		o.progress(ProgressEvent{
+			Strategy:    o.strategy,
+			Step:        o.steps,
+			Cost:        cost,
+			Power:       power,
+			Evaluations: o.evaluations,
+		})
+	}
+}
+
+// Steps reports the number of completed search steps so far.
+func (o *Oracle) Steps() int { return o.steps }
 
 // Graph returns the graph under optimization. Strategies that mutate it
 // (core.Assignment.Apply) own the final state: the graph is left at
@@ -283,6 +354,9 @@ func UniformBaseline(o *Oracle, opt Options) (int, error) {
 	const chunk = 4
 	best := opt.MaxFrac
 	for hi := opt.MaxFrac - 1; hi >= opt.MinFrac; hi -= chunk {
+		if o.Cancelled() {
+			return best, nil
+		}
 		var widths []core.Assignment
 		for f := hi; f >= opt.MinFrac && f > hi-chunk; f-- {
 			widths = append(widths, core.UniformAssignment(o.sources, f))
