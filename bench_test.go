@@ -16,6 +16,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 	"reflect"
 	"runtime"
 	"testing"
@@ -317,10 +318,11 @@ func BenchmarkWLOpt(b *testing.B) {
 	}
 }
 
-// BenchmarkEvaluateMoves measures the incremental oracle path: one greedy
-// step's worth of single-width candidate moves scored against a shared
-// base state through the transfer cache's delta evaluation, compared with
-// the same candidates as materialized assignments through EvaluateBatch.
+// BenchmarkEvaluateMoves measures the move-scoring tiers: one greedy
+// step's worth of single-width candidate moves through the scalar
+// σ²-table path (powers only — what every strategy step consumes), the
+// materializing delta path, and the same candidates as full assignments
+// through EvaluateBatch.
 func BenchmarkEvaluateMoves(b *testing.B) {
 	g, err := systems.NewDWT().Graph(16)
 	if err != nil {
@@ -344,11 +346,26 @@ func BenchmarkEvaluateMoves(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	powers, err := eng.PowerMoves(g, base, moves)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := range got {
-		if got[i].Power != want[i].Power {
-			b.Fatalf("move %d power %g diverges from batch %g", i, got[i].Power, want[i].Power)
+		if powers[i] != got[i].Power {
+			b.Fatalf("move %d scalar score %g diverges from move power %g", i, powers[i], got[i].Power)
+		}
+		if rel := math.Abs(got[i].Power-want[i].Power) / math.Max(got[i].Power, want[i].Power); rel > 1e-12 {
+			b.Fatalf("move %d power %g diverges from batch %g beyond 1e-12", i, got[i].Power, want[i].Power)
 		}
 	}
+	b.Run("powers", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.PowerMoves(g, base, moves); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("moves", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -362,6 +379,104 @@ func BenchmarkEvaluateMoves(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.EvaluateBatch(g, batch); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEnginePlanLookupParallel measures the engine's lock-free read
+// path under contention: concurrent goroutines resolving a warm plan
+// (EvalMode is a pure cache hit) and scoring greedy-step moves through
+// the scalar tier on one shared engine. Run with -cpu 1,4,8 — ns/op
+// should stay near-flat as goroutines are added, because warm lookups
+// never take a lock and move scoring uses per-worker pooled state.
+func BenchmarkEnginePlanLookupParallel(b *testing.B) {
+	g, err := systems.NewDWT().Graph(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(256, 1)
+	if _, err := eng.Evaluate(g); err != nil {
+		b.Fatal(err)
+	}
+	base := core.AssignmentOf(g)
+	var moves []core.Move
+	for _, id := range g.NoiseSources() {
+		moves = append(moves, core.Move{Source: id, Frac: base[id] - 1})
+	}
+	want, err := eng.PowerMoves(g, base, moves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("evalmode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := eng.EvalMode(g); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("powermoves", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				ps, err := eng.PowerMoves(g, base, moves)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if ps[0] != want[0] {
+					b.Errorf("concurrent move score %g, want %g", ps[0], want[0])
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkWLOptParallel is the service-shaped contention benchmark:
+// concurrent full word-length searches (one graph per goroutine, the
+// shape of concurrent jobs on different digests) sharing one plan-cached
+// engine. Run with -cpu 1,4,8 — with the lock-free plan reads and pooled
+// move-scoring state, per-op time should track the single-goroutine cost
+// instead of serializing on the engine.
+func BenchmarkWLOptParallel(b *testing.B) {
+	maxFrac := 20
+	if testing.Short() {
+		maxFrac = 16
+	}
+	eng := core.NewEngine(256, 1)
+	eng.SetPlanCacheCap(64) // one plan per concurrent goroutine, no churn
+	opt := wlopt.Options{Budget: 1e-7, MinFrac: 4, MaxFrac: maxFrac, Workers: 1, Evaluator: eng}
+	gRef, err := systems.NewDWT().Graph(maxFrac)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := wlopt.Optimize(gRef, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g, err := systems.NewDWT().Graph(maxFrac)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			res, err := wlopt.Optimize(g, opt)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if res.Power != ref.Power || res.Cost != ref.Cost {
+				b.Errorf("concurrent result (%g, %g) diverges from reference (%g, %g)",
+					res.Power, res.Cost, ref.Power, ref.Cost)
+				return
 			}
 		}
 	})

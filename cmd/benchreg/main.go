@@ -7,25 +7,28 @@
 //
 //	benchreg                                  # short-mode wlopt+engine benches -> BENCH_wlopt.json
 //	benchreg -bench 'Benchmark.*' -count 5 -out BENCH_all.json
+//	benchreg -cpu 1,4,8                       # record each -cpu variant separately
 //	benchreg -full                            # full-size benches (no -short)
 //	benchreg -check BENCH_wlopt.json          # CI gate: fail on >30 % ns/op or >10 % allocs/op median regression
 //
 // The file records every run of every benchmark plus per-benchmark medians
-// of ns/op and allocs/op; compare two files with any JSON diff to spot
-// regressions — or pass -check with a committed baseline file to turn the
-// comparison into a CI gate: the run fails (exit 1) if any benchmark
-// present in both files regresses its median ns/op by more than
-// -maxregress percent or its median allocs/op by more than
-// -maxallocregress percent. Benchmarks that exist on only one side are
-// reported but never fail the gate, so adding or retiring a benchmark does
-// not require regenerating the baseline in the same commit. When the
-// baseline was recorded on different hardware (goos/goarch/cpu mismatch)
-// absolute ns/op are not comparable, so the timing gate reports
-// regressions but exits 0 unless -strict-host is set; allocation counts
-// don't depend on clock speed, so the allocs/op gate enforces across
-// hardware — but per-P pools make them GOMAXPROCS-sensitive, so it is
-// advisory when the baseline's GOMAXPROCS differs (again unless
-// -strict-host).
+// of ns/op and allocs/op. Each record carries the GOMAXPROCS it ran at
+// (the -N suffix go test appends; pass -cpu to sweep several), and -check
+// compares only matching variants — a -cpu 8 run is a different
+// measurement than a -cpu 1 run of the same benchmark. Compare two files
+// with any JSON diff to spot regressions — or pass -check with a committed
+// baseline file to turn the comparison into a CI gate: the run fails
+// (exit 1) if any variant present in both files regresses its median
+// ns/op by more than -maxregress percent or its median allocs/op by more
+// than -maxallocregress percent. Variants that exist on only one side are
+// reported but never fail the gate, so adding or retiring a benchmark (or
+// running on a host with a different core count) does not require
+// regenerating the baseline in the same commit. When the baseline was
+// recorded on different hardware (goos/goarch/cpu mismatch) absolute
+// ns/op are not comparable, so the timing gate reports regressions but
+// exits 0 unless -strict-host is set; allocation counts depend on neither
+// clock speed nor (with variant matching) parallelism, so the allocs/op
+// gate always enforces.
 package main
 
 import (
@@ -50,9 +53,16 @@ type BenchRun struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// BenchRecord aggregates the runs of one benchmark.
+// BenchRecord aggregates the runs of one benchmark at one GOMAXPROCS
+// setting. Go test names each run with a -N suffix; runs at different N
+// (e.g. under -cpu 1,4,8) are separate records, because both ns/op and
+// allocs/op depend on the parallelism they ran at.
 type BenchRecord struct {
-	Name              string     `json:"name"`
+	Name string `json:"name"`
+	// Gomaxprocs is the -N suffix the runs carried (the GOMAXPROCS the
+	// benchmark executed at). Zero in pre-v2 baseline files, where the
+	// report-level GOMAXPROCS applies.
+	Gomaxprocs        int        `json:"gomaxprocs,omitempty"`
 	Runs              []BenchRun `json:"runs"`
 	MedianNsPerOp     float64    `json:"ns_per_op_median"`
 	MedianAllocsPerOp float64    `json:"allocs_per_op_median"`
@@ -75,8 +85,9 @@ type Report struct {
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEvaluateMoves|BenchmarkEngineEvaluate|BenchmarkFig6_Estimation|BenchmarkServiceSubmit",
-			"benchmark regex passed to go test -bench")
+		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEvaluateMoves|BenchmarkEngineEvaluate|BenchmarkEnginePlanLookupParallel|BenchmarkFig6_Estimation|BenchmarkServiceSubmit",
+			"benchmark regex passed to go test -bench (BenchmarkWLOpt also matches BenchmarkWLOptParallel)")
+		cpu             = flag.String("cpu", "", "comma-separated GOMAXPROCS list passed to go test -cpu (e.g. '1,4,8'); each value records as its own benchmark variant")
 		count           = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")
 		pkgs            = flag.String("pkgs", "./...", "package pattern to bench")
 		out             = flag.String("out", "BENCH_wlopt.json", "output JSON path ('' to skip writing)")
@@ -84,7 +95,7 @@ func main() {
 		check           = flag.String("check", "", "baseline JSON to gate against: exit 1 if any shared benchmark's median ns/op or allocs/op regresses beyond its threshold")
 		maxRegress      = flag.Float64("maxregress", 30, "maximum tolerated ns/op median regression, in percent, for -check")
 		maxAllocRegress = flag.Float64("maxallocregress", 10, "maximum tolerated allocs/op median regression, in percent, for -check (allocation counts are deterministic, so the budget is tight; unlike ns/op this gate holds across differing hardware)")
-		strictHost      = flag.Bool("strict-host", false, "fail the -check gate even when the baseline was recorded on different hardware or at different GOMAXPROCS (default: ns/op advisory on host mismatch, allocs/op advisory on GOMAXPROCS mismatch)")
+		strictHost      = flag.Bool("strict-host", false, "fail the -check gate on timing regressions even when the baseline was recorded on different hardware (default: ns/op advisory on host mismatch; allocs/op always enforces, since only matching GOMAXPROCS variants compare)")
 	)
 	flag.Parse()
 
@@ -106,6 +117,9 @@ func main() {
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-count", strconv.Itoa(*count)}
+	if *cpu != "" {
+		args = append(args, "-cpu", *cpu)
+	}
 	if !*full {
 		args = append(args, "-short")
 	}
@@ -125,7 +139,7 @@ func main() {
 		os.Exit(1)
 	}
 	report := Report{
-		Schema:     "repro/benchreg/v1",
+		Schema:     "repro/benchreg/v2",
 		Generated:  time.Now().UTC(),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -151,7 +165,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchreg: wrote %d benchmarks to %s\n", len(records), *out)
 	}
 	for _, r := range records {
-		fmt.Printf("%-50s %14.0f ns/op (median of %d)\n", r.Name, r.MedianNsPerOp, len(r.Runs))
+		fmt.Printf("%-50s %14.0f ns/op (median of %d)\n",
+			recordKey(r, report.GOMAXPROCS), r.MedianNsPerOp, len(r.Runs))
 	}
 	if baseline != nil {
 		hostMismatch := baseline.GOOS != report.GOOS || baseline.GOARCH != report.GOARCH ||
@@ -162,16 +177,27 @@ func main() {
 		}
 		// Allocation counts don't depend on clock speed, but they do
 		// depend on parallelism: per-P sync.Pool caches and worker fan-out
-		// shift allocs/op with GOMAXPROCS. The alloc gate therefore
-		// enforces only when the baseline was recorded at the same
-		// GOMAXPROCS (advisory otherwise, like the timing gate on host
-		// mismatch).
-		procsMismatch := baseline.GOMAXPROCS != report.GOMAXPROCS
-		if procsMismatch {
-			fmt.Fprintf(os.Stderr, "benchreg: WARNING: baseline GOMAXPROCS %d differs from this run's %d; allocs/op medians of pooled/fanned benchmarks are not comparable\n",
+		// shift allocs/op with GOMAXPROCS. Records carry their GOMAXPROCS
+		// since v2 and only matching variants compare, so every compared
+		// pair ran at the same parallelism and the alloc gate enforces
+		// across hardware. A host with a different core count simply
+		// produces different variants (reported as one-sided, never
+		// failing the gate) unless -cpu pins the list.
+		if baseline.GOMAXPROCS != report.GOMAXPROCS {
+			fmt.Fprintf(os.Stderr, "benchreg: note: baseline host GOMAXPROCS %d differs from this run's %d; benchmarks not pinned by -cpu will pair up only where the counts coincide\n",
 				baseline.GOMAXPROCS, report.GOMAXPROCS)
 		}
-		deltas := compareMedians(baseline.Benchmarks, records)
+		deltas := compareMedians(baseline.Benchmarks, records, baseline.GOMAXPROCS, report.GOMAXPROCS)
+		paired := 0
+		for _, d := range deltas {
+			if d.BaselineNs > 0 && d.CurrentNs > 0 {
+				paired++
+			}
+		}
+		if paired == 0 {
+			fmt.Fprintf(os.Stderr, "benchreg: WARNING: no benchmark variant pairs up with the baseline — the gate is vacuous; pin -cpu to the baseline's GOMAXPROCS (e.g. -cpu %d) or regenerate the baseline on this host class\n",
+				baseline.GOMAXPROCS)
+		}
 		nsFailed, allocFailed := false, false
 		fmt.Printf("\nregression gate vs %s (ns/op +%g%%, allocs/op +%g%%):\n", *check, *maxRegress, *maxAllocRegress)
 		for _, d := range deltas {
@@ -201,20 +227,17 @@ func main() {
 				d.Name, d.BaselineNs, d.CurrentNs, d.Percent,
 				d.BaselineAllocs, d.CurrentAllocs, d.AllocPercent, status)
 		}
-		// Each gate independently either enforces or demotes to advisory:
-		// cross-hardware timing comparisons regress spuriously (ns/op is
-		// advisory on host mismatch), and per-P pools shift allocation
-		// counts with parallelism (allocs/op is advisory on GOMAXPROCS
-		// mismatch) — unless the caller opted into -strict-host. An
-		// advisory failure on one axis must not mask an enforced failure
-		// on the other.
+		// The timing gate either enforces or demotes to advisory:
+		// cross-hardware ns/op comparisons regress spuriously, so a host
+		// mismatch makes it advisory unless the caller opted into
+		// -strict-host. The alloc gate always enforces — compared variants
+		// ran at matching GOMAXPROCS by construction, and allocation
+		// counts are otherwise hardware-independent. An advisory timing
+		// failure must not mask an enforced allocation failure.
 		nsEnforced := nsFailed && (!hostMismatch || *strictHost)
-		allocEnforced := allocFailed && (!procsMismatch || *strictHost)
+		allocEnforced := allocFailed
 		if nsFailed && !nsEnforced {
 			fmt.Fprintf(os.Stderr, "benchreg: regression beyond %g%% but hosts differ — advisory only (pass -strict-host to enforce, or regenerate the baseline on this host)\n", *maxRegress)
-		}
-		if allocFailed && !allocEnforced {
-			fmt.Fprintf(os.Stderr, "benchreg: allocs/op regression beyond %g%% but GOMAXPROCS differs — advisory only (pass -strict-host to enforce, or regenerate the baseline at this parallelism)\n", *maxAllocRegress)
 		}
 		switch {
 		case nsEnforced || allocEnforced:
@@ -246,10 +269,10 @@ func loadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
-// medianDelta is one benchmark's baseline-to-current movement. A zero
-// BaselineNs or CurrentNs marks a benchmark present on only one side.
+// medianDelta is one benchmark variant's baseline-to-current movement. A
+// zero BaselineNs or CurrentNs marks a variant present on only one side.
 type medianDelta struct {
-	Name           string
+	Name           string // display name, -GOMAXPROCS suffix included
 	BaselineNs     float64
 	CurrentNs      float64
 	Percent        float64 // positive = slower than baseline
@@ -258,20 +281,33 @@ type medianDelta struct {
 	AllocPercent   float64 // positive = more allocations than baseline
 }
 
-// compareMedians pairs baseline and current records by name, in current
-// order followed by baseline-only leftovers, and computes the median
-// ns/op and allocs/op movements for benchmarks present in both.
-func compareMedians(baseline, current []BenchRecord) []medianDelta {
+// recordKey identifies a benchmark variant: name plus the GOMAXPROCS it
+// ran at, falling back to the report-level GOMAXPROCS for pre-v2 records
+// that did not carry one. Only matching variants compare — a -cpu 8 run
+// is a different measurement than a -cpu 1 run of the same benchmark.
+func recordKey(r BenchRecord, fallbackProcs int) string {
+	procs := r.Gomaxprocs
+	if procs == 0 {
+		procs = fallbackProcs
+	}
+	return fmt.Sprintf("%s-%d", r.Name, procs)
+}
+
+// compareMedians pairs baseline and current records by (name, GOMAXPROCS),
+// in current order followed by baseline-only leftovers, and computes the
+// median ns/op and allocs/op movements for variants present in both.
+func compareMedians(baseline, current []BenchRecord, baseProcs, curProcs int) []medianDelta {
 	base := make(map[string]BenchRecord, len(baseline))
 	for _, r := range baseline {
-		base[r.Name] = r
+		base[recordKey(r, baseProcs)] = r
 	}
 	var out []medianDelta
 	seen := map[string]bool{}
 	for _, r := range current {
-		seen[r.Name] = true
-		d := medianDelta{Name: r.Name, CurrentNs: r.MedianNsPerOp, CurrentAllocs: r.MedianAllocsPerOp}
-		if b, ok := base[r.Name]; ok {
+		key := recordKey(r, curProcs)
+		seen[key] = true
+		d := medianDelta{Name: key, CurrentNs: r.MedianNsPerOp, CurrentAllocs: r.MedianAllocsPerOp}
+		if b, ok := base[key]; ok {
 			if b.MedianNsPerOp > 0 {
 				d.BaselineNs = b.MedianNsPerOp
 				d.Percent = (r.MedianNsPerOp - b.MedianNsPerOp) / b.MedianNsPerOp * 100
@@ -284,8 +320,8 @@ func compareMedians(baseline, current []BenchRecord) []medianDelta {
 		out = append(out, d)
 	}
 	for _, r := range baseline {
-		if !seen[r.Name] {
-			out = append(out, medianDelta{Name: r.Name, BaselineNs: r.MedianNsPerOp, BaselineAllocs: r.MedianAllocsPerOp})
+		if key := recordKey(r, baseProcs); !seen[key] {
+			out = append(out, medianDelta{Name: key, BaselineNs: r.MedianNsPerOp, BaselineAllocs: r.MedianAllocsPerOp})
 		}
 	}
 	return out
@@ -341,25 +377,37 @@ func parseBenchOutput(out string) []BenchRecord {
 		if !ok {
 			continue
 		}
-		// Strip the trailing -GOMAXPROCS suffix so records compare across
-		// machines with different core counts.
-		name := fields[0]
+		// Split the trailing -GOMAXPROCS suffix into its own field: names
+		// stay comparable across machines, while -cpu variants of one
+		// benchmark group (and later gate) separately, because timings and
+		// per-P pool allocation counts both depend on the parallelism the
+		// run executed at. go test omits the suffix entirely when
+		// GOMAXPROCS is 1, so a suffixless line IS the procs=1 variant —
+		// it must not fall back to the host's core count, or a -cpu 1 run
+		// on an 8-core box would collide with the real -cpu 8 variant.
+		// The format is ambiguous for benchmark names that themselves end
+		// in "-<digits>": at GOMAXPROCS 1 such a name would parse as a
+		// procs variant. No line-level disambiguation exists, so bench
+		// names in this repo must not end in a dash-digit run (the suite
+		// uses "workers=1"-style names for exactly this reason).
+		name, procs := fields[0], 1
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
+				name, procs = name[:i], n
 			}
 		}
-		g, seen := groups[name]
+		key := fmt.Sprintf("%s-%d", name, procs)
+		g, seen := groups[key]
 		if !seen {
-			g = &BenchRecord{Name: name}
-			groups[name] = g
-			order = append(order, name)
+			g = &BenchRecord{Name: name, Gomaxprocs: procs}
+			groups[key] = g
+			order = append(order, key)
 		}
 		g.Runs = append(g.Runs, run)
 	}
 	records := make([]BenchRecord, 0, len(order))
-	for _, name := range order {
-		g := groups[name]
+	for _, key := range order {
+		g := groups[key]
 		g.MedianNsPerOp = median(g.Runs, func(r BenchRun) float64 { return r.NsPerOp })
 		g.MedianAllocsPerOp = median(g.Runs, func(r BenchRun) float64 { return r.AllocsPerOp })
 		records = append(records, *g)

@@ -29,7 +29,10 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	w1 := records[0]
 	if w1.Name != "BenchmarkWLOpt/workers=1" {
-		t.Fatalf("first record %q (suffix should be stripped)", w1.Name)
+		t.Fatalf("first record %q (suffix should be split off)", w1.Name)
+	}
+	if w1.Gomaxprocs != 8 {
+		t.Fatalf("first record GOMAXPROCS %d, want 8 (from the -8 suffix)", w1.Gomaxprocs)
 	}
 	if len(w1.Runs) != 3 {
 		t.Fatalf("workers=1 runs %d, want 3", len(w1.Runs))
@@ -64,6 +67,27 @@ func TestParseBenchOutputIgnoresGarbage(t *testing.T) {
 	}
 }
 
+// TestParseBenchOutputSuffixlessIsProcsOne: go test drops the -N suffix
+// when GOMAXPROCS is 1, so a suffixless benchmark line must record as the
+// procs=1 variant — never fall back to the host's core count, which would
+// collide a -cpu 1 run with the host-parallel variant of the same bench.
+func TestParseBenchOutputSuffixlessIsProcsOne(t *testing.T) {
+	out := "BenchmarkFoo \t 100\t 500 ns/op\nBenchmarkFoo-8 \t 100\t 100 ns/op\n"
+	records := parseBenchOutput(out)
+	if len(records) != 2 {
+		t.Fatalf("expected 2 variant records, got %d: %+v", len(records), records)
+	}
+	if records[0].Name != "BenchmarkFoo" || records[0].Gomaxprocs != 1 {
+		t.Fatalf("suffixless record %+v, want Gomaxprocs 1", records[0])
+	}
+	if records[1].Gomaxprocs != 8 {
+		t.Fatalf("suffixed record %+v, want Gomaxprocs 8", records[1])
+	}
+	if recordKey(records[0], 8) == recordKey(records[1], 8) {
+		t.Fatal("procs=1 and procs=8 variants must not share a gate key")
+	}
+}
+
 func TestMedianEven(t *testing.T) {
 	runs := []BenchRun{{NsPerOp: 10}, {NsPerOp: 30}, {NsPerOp: 20}, {NsPerOp: 40}}
 	ns := func(r BenchRun) float64 { return r.NsPerOp }
@@ -77,16 +101,16 @@ func TestMedianEven(t *testing.T) {
 
 func TestCompareMedians(t *testing.T) {
 	baseline := []BenchRecord{
-		{Name: "BenchmarkA", MedianNsPerOp: 100, MedianAllocsPerOp: 40},
-		{Name: "BenchmarkB", MedianNsPerOp: 200},
-		{Name: "BenchmarkRetired", MedianNsPerOp: 50},
+		{Name: "BenchmarkA", Gomaxprocs: 1, MedianNsPerOp: 100, MedianAllocsPerOp: 40},
+		{Name: "BenchmarkB", Gomaxprocs: 1, MedianNsPerOp: 200},
+		{Name: "BenchmarkRetired", Gomaxprocs: 1, MedianNsPerOp: 50},
 	}
 	current := []BenchRecord{
-		{Name: "BenchmarkA", MedianNsPerOp: 150, MedianAllocsPerOp: 50}, // +50 % ns, +25 % allocs
-		{Name: "BenchmarkB", MedianNsPerOp: 190, MedianAllocsPerOp: 10}, // -5 % ns; baseline has no alloc median
-		{Name: "BenchmarkNew", MedianNsPerOp: 75},
+		{Name: "BenchmarkA", Gomaxprocs: 1, MedianNsPerOp: 150, MedianAllocsPerOp: 50}, // +50 % ns, +25 % allocs
+		{Name: "BenchmarkB", Gomaxprocs: 1, MedianNsPerOp: 190, MedianAllocsPerOp: 10}, // -5 % ns; baseline has no alloc median
+		{Name: "BenchmarkNew", Gomaxprocs: 1, MedianNsPerOp: 75},
 	}
-	deltas := compareMedians(baseline, current)
+	deltas := compareMedians(baseline, current, 1, 1)
 	if len(deltas) != 4 {
 		t.Fatalf("expected 4 deltas, got %d", len(deltas))
 	}
@@ -94,22 +118,22 @@ func TestCompareMedians(t *testing.T) {
 	for _, d := range deltas {
 		byName[d.Name] = d
 	}
-	if d := byName["BenchmarkA"]; math.Abs(d.Percent-50) > 1e-9 || math.Abs(d.AllocPercent-25) > 1e-9 {
+	if d := byName["BenchmarkA-1"]; math.Abs(d.Percent-50) > 1e-9 || math.Abs(d.AllocPercent-25) > 1e-9 {
 		t.Fatalf("A deltas %+v, want +50%% ns and +25%% allocs", d)
 	}
-	if d := byName["BenchmarkB"]; math.Abs(d.Percent+5) > 1e-9 {
+	if d := byName["BenchmarkB-1"]; math.Abs(d.Percent+5) > 1e-9 {
 		t.Fatalf("B percent %g, want -5", d.Percent)
 	}
 	// A baseline without alloc medians (older schema) cannot gate allocs.
-	if d := byName["BenchmarkB"]; d.BaselineAllocs != 0 || d.AllocPercent != 0 {
+	if d := byName["BenchmarkB-1"]; d.BaselineAllocs != 0 || d.AllocPercent != 0 {
 		t.Fatalf("B alloc delta %+v should be skipped", d)
 	}
 	// One-sided benchmarks carry a zero on the missing side and a zero
 	// percent, which the gate treats as skipped.
-	if d := byName["BenchmarkNew"]; d.BaselineNs != 0 || d.Percent != 0 {
+	if d := byName["BenchmarkNew-1"]; d.BaselineNs != 0 || d.Percent != 0 {
 		t.Fatalf("new benchmark delta %+v should be skipped", d)
 	}
-	if d := byName["BenchmarkRetired"]; d.CurrentNs != 0 || d.Percent != 0 {
+	if d := byName["BenchmarkRetired-1"]; d.CurrentNs != 0 || d.Percent != 0 {
 		t.Fatalf("retired benchmark delta %+v should be skipped", d)
 	}
 }
@@ -120,12 +144,50 @@ func TestCompareMediansOrder(t *testing.T) {
 	deltas := compareMedians(
 		[]BenchRecord{{Name: "Old", MedianNsPerOp: 1}, {Name: "Shared", MedianNsPerOp: 2}},
 		[]BenchRecord{{Name: "Shared", MedianNsPerOp: 2}, {Name: "New", MedianNsPerOp: 3}},
+		4, 4,
 	)
-	want := []string{"Shared", "New", "Old"}
+	want := []string{"Shared-4", "New-4", "Old-4"}
 	for i, d := range deltas {
 		if d.Name != want[i] {
 			t.Fatalf("delta order %d = %q, want %q", i, d.Name, want[i])
 		}
+	}
+}
+
+// TestCompareMediansMatchesCPUVariants: records pair up only at matching
+// GOMAXPROCS — a -cpu 8 run never gates against a -cpu 1 baseline — and
+// pre-v2 baseline records (no per-record GOMAXPROCS) fall back to the
+// baseline report's global value.
+func TestCompareMediansMatchesCPUVariants(t *testing.T) {
+	baseline := []BenchRecord{
+		{Name: "BenchmarkPar", Gomaxprocs: 1, MedianNsPerOp: 100},
+		{Name: "BenchmarkPar", Gomaxprocs: 8, MedianNsPerOp: 40},
+		{Name: "BenchmarkLegacy", MedianNsPerOp: 300}, // pre-v2: procs from the report (2)
+	}
+	current := []BenchRecord{
+		{Name: "BenchmarkPar", Gomaxprocs: 1, MedianNsPerOp: 110}, // +10 % vs the -cpu 1 baseline
+		{Name: "BenchmarkPar", Gomaxprocs: 4, MedianNsPerOp: 90},  // no -cpu 4 baseline: one-sided
+		{Name: "BenchmarkLegacy", Gomaxprocs: 2, MedianNsPerOp: 330},
+	}
+	deltas := compareMedians(baseline, current, 2, 2)
+	byName := map[string]medianDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if len(deltas) != 4 {
+		t.Fatalf("expected 4 deltas (1 matched, 1 one-sided current, 1 legacy match, 1 one-sided baseline), got %d: %+v", len(deltas), deltas)
+	}
+	if d := byName["BenchmarkPar-1"]; math.Abs(d.Percent-10) > 1e-9 {
+		t.Fatalf("matched -cpu 1 variant delta %+v, want +10%%", d)
+	}
+	if d := byName["BenchmarkPar-4"]; d.BaselineNs != 0 || d.Percent != 0 {
+		t.Fatalf("-cpu 4 variant %+v should be one-sided", d)
+	}
+	if d := byName["BenchmarkPar-8"]; d.CurrentNs != 0 || d.Percent != 0 {
+		t.Fatalf("-cpu 8 baseline variant %+v should be one-sided", d)
+	}
+	if d := byName["BenchmarkLegacy-2"]; math.Abs(d.Percent-10) > 1e-9 {
+		t.Fatalf("legacy record should match via the report GOMAXPROCS: %+v", d)
 	}
 }
 

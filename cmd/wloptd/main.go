@@ -22,10 +22,19 @@
 //
 //	wloptd -addr :8080
 //	wloptd -addr 127.0.0.1:9000 -npsd 512 -workers 8 -cache 256
+//	wloptd -addr :8080 -pprof 127.0.0.1:6060   # live profiling sidecar
+//
+// The -pprof flag serves net/http/pprof on a second, separate listener so
+// the service hot paths (plan lookups, scalar move scoring, the worker
+// pool) can be profiled in place under production traffic without
+// exposing the debug surface on the public API address:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight searches
 // are cancelled cooperatively (between greedy steps), watchers receive
-// their terminal events, and the listener drains before exit.
+// their terminal events, and the listener drains before exit. The pprof
+// listener is debug-only and exits with the process.
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,8 +66,20 @@ func main() {
 		cache   = flag.Int("cache", 0, "result cache entries (0 = 128)")
 		queue   = flag.Int("queue", 0, "pending job queue bound (0 = 256)")
 		maxBody = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		// Separate listener on the default mux (where net/http/pprof
+		// registers), so the debug surface never shares the API address.
+		go func() {
+			log.Printf("wloptd: pprof on http://%s/debug/pprof/", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("wloptd: pprof: %v", err)
+			}
+		}()
+	}
 
 	mgr := service.New(service.Config{
 		NPSD:            *npsd,

@@ -73,11 +73,22 @@ type Move struct {
 // MoveEvaluator is implemented by evaluators with an incremental path for
 // single-source width changes. EvaluateMoves scores each move applied to
 // base independently (moves do not compound), returning results in move
-// order that are bit-identical to EvaluateBatch on the equivalently moved
-// assignments.
+// order whose PSDs, means and per-source rows are bit-identical to
+// EvaluateBatch on the equivalently moved assignments (powers agree within
+// 1e-12 relative; see transfer.go for the per-tier contract).
 type MoveEvaluator interface {
 	BatchEvaluator
 	EvaluateMoves(g *sfg.Graph, base Assignment, moves []Move) ([]*Result, error)
+}
+
+// MovePowerEvaluator is implemented by move evaluators with a scalar fast
+// path: PowerMoves returns only the output powers of the moved
+// assignments — bit-identical to the Power fields EvaluateMoves reports,
+// without materializing Results. This is the greedy search's hot call:
+// every strategy consumes only the scalar power of a candidate move.
+type MovePowerEvaluator interface {
+	MoveEvaluator
+	PowerMoves(g *sfg.Graph, base Assignment, moves []Move) ([]float64, error)
 }
 
 // Engine is the throughput-oriented form of the proposed PSD method: a
@@ -100,25 +111,42 @@ type MoveEvaluator interface {
 //
 // Each plan additionally carries the transfer cache (see transfer.go): a
 // per-source unit transfer profile that turns evaluation into a fused
-// multiply-accumulate and single-width moves (EvaluateMoves) into
-// incremental leaf swaps, with the full per-source propagation retained as
-// the fallback for topologies that fail the linearity probe (and available
-// explicitly via SetFullPropagation).
+// multiply-accumulate, single-width moves (EvaluateMoves) into incremental
+// leaf swaps, and scalar move scores (PowerMoves) into σ²-table lookups,
+// with the full per-source propagation retained as the fallback for
+// topologies that fail the linearity probe (and available explicitly via
+// SetFullPropagation).
+//
+// The read path is lock-free: the plan cache is an immutable snapshot
+// swapped through an atomic pointer (copy-on-write), and recency stamps
+// are atomics, so any number of concurrent warm lookups — the service's
+// steady state — proceed without touching a mutex. e.mu serializes only
+// the writers: plan builds, evictions, and cap or mode changes.
 type Engine struct {
-	npsd      int
-	workers   int
-	forceFull bool
+	npsd    int
+	workers int
 
-	mu      sync.Mutex
-	plans   map[*sfg.Graph]*planEntry
-	planCap int
-	tick    uint64
+	plans atomic.Pointer[planMap] // immutable snapshot; see plan()
+	tick  atomic.Uint64           // global recency clock
+
+	mu        sync.Mutex // serializes plan builds, eviction, cap/mode changes
+	planCap   int
+	forceFull bool
+}
+
+// planMap is one immutable plan-cache snapshot. Readers index the map
+// freely (it is never mutated after publication); writers copy, edit and
+// atomically republish under Engine.mu.
+type planMap struct {
+	m map[*sfg.Graph]*planEntry
 }
 
 // planEntry pairs a cached plan with its recency stamp for LRU eviction.
+// Entries are shared across snapshots; lastUse is atomic because the
+// lock-free hit path bumps it concurrently.
 type planEntry struct {
 	plan    *graphPlan
-	lastUse uint64
+	lastUse atomic.Uint64
 }
 
 // DefaultPlanCacheCap is the default number of per-graph plans an engine
@@ -131,12 +159,13 @@ func NewEngine(npsd, workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		npsd:    npsd,
 		workers: workers,
-		plans:   make(map[*sfg.Graph]*planEntry),
 		planCap: DefaultPlanCacheCap,
 	}
+	e.plans.Store(&planMap{m: map[*sfg.Graph]*planEntry{}})
+	return e
 }
 
 // SetPlanCacheCap bounds the number of cached plans; n < 1 is clamped to 1.
@@ -149,16 +178,18 @@ func (e *Engine) SetPlanCacheCap(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.planCap = n
-	for len(e.plans) > e.planCap {
-		e.evictLRULocked()
+	cur := e.plans.Load()
+	if len(cur.m) <= e.planCap {
+		return
 	}
+	next := clonePlanMap(cur.m, 0)
+	evictLRU(next, e.planCap, nil)
+	e.plans.Store(&planMap{m: next})
 }
 
 // PlanCacheLen reports the number of plans currently cached.
 func (e *Engine) PlanCacheLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.plans)
+	return len(e.plans.Load().m)
 }
 
 // SetFullPropagation forces plans built afterwards onto the full
@@ -197,40 +228,84 @@ func (e *Engine) Workers() int { return e.workers }
 // sources).
 func (e *Engine) Invalidate(g *sfg.Graph) {
 	e.mu.Lock()
-	delete(e.plans, g)
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	cur := e.plans.Load()
+	if _, ok := cur.m[g]; !ok {
+		return
+	}
+	next := clonePlanMap(cur.m, 0)
+	delete(next, g)
+	e.plans.Store(&planMap{m: next})
 }
 
+// plan returns g's cached plan, building (and caching) it on a miss. The
+// hit path — every warm call of every public entry point — is lock-free:
+// one atomic snapshot load, one map lookup, one atomic recency bump.
+// Recency is stamped on hits and misses alike, so any entry point
+// (Evaluate, EvaluateBatch, EvaluateMoves, PowerMoves, EvalMode, ...)
+// refreshes its graph's LRU position.
 func (e *Engine) plan(g *sfg.Graph) (*graphPlan, error) {
+	if en, ok := e.plans.Load().m[g]; ok {
+		en.lastUse.Store(e.tick.Add(1))
+		return en.plan, nil
+	}
+	return e.planMiss(g)
+}
+
+// planMiss builds and publishes the plan for g under the writer lock. A
+// concurrent reader keeps using whichever snapshot it loaded — plans are
+// immutable, so an entry evicted from the published map stays valid for
+// the readers still holding it and simply re-plans on its next lookup.
+func (e *Engine) planMiss(g *sfg.Graph) (*graphPlan, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.tick++
-	if en, ok := e.plans[g]; ok {
-		en.lastUse = e.tick
+	cur := e.plans.Load()
+	if en, ok := cur.m[g]; ok { // lost a build race: reuse the winner's plan
+		en.lastUse.Store(e.tick.Add(1))
 		return en.plan, nil
 	}
 	p, err := newGraphPlanMode(g, e.npsd, e.forceFull)
 	if err != nil {
 		return nil, err
 	}
-	for len(e.plans) >= e.planCap {
-		e.evictLRULocked()
-	}
-	e.plans[g] = &planEntry{plan: p, lastUse: e.tick}
+	next := clonePlanMap(cur.m, 1)
+	en := &planEntry{plan: p}
+	en.lastUse.Store(e.tick.Add(1))
+	next[g] = en
+	evictLRU(next, e.planCap, g)
+	e.plans.Store(&planMap{m: next})
 	return p, nil
 }
 
-// evictLRULocked drops the least-recently-used plan; e.mu must be held.
-func (e *Engine) evictLRULocked() {
-	var victim *sfg.Graph
-	var oldest uint64
-	for g, en := range e.plans {
-		if victim == nil || en.lastUse < oldest {
-			victim, oldest = g, en.lastUse
-		}
+// clonePlanMap copies a snapshot map with room for extra more entries.
+func clonePlanMap(m map[*sfg.Graph]*planEntry, extra int) map[*sfg.Graph]*planEntry {
+	next := make(map[*sfg.Graph]*planEntry, len(m)+extra)
+	for g, en := range m {
+		next[g] = en
 	}
-	if victim != nil {
-		delete(e.plans, victim)
+	return next
+}
+
+// evictLRU removes least-recently-used entries from m until it holds at
+// most cap entries, never evicting keep (the entry just inserted — a
+// concurrent reader bumping an old entry's stamp past ours must not push
+// the fresh plan straight back out).
+func evictLRU(m map[*sfg.Graph]*planEntry, cap int, keep *sfg.Graph) {
+	for len(m) > cap {
+		var victim *sfg.Graph
+		var oldest uint64
+		for g, en := range m {
+			if g == keep {
+				continue
+			}
+			if lu := en.lastUse.Load(); victim == nil || lu < oldest {
+				victim, oldest = g, lu
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(m, victim)
 	}
 }
 
@@ -272,12 +347,13 @@ func (e *Engine) EvaluateBatch(g *sfg.Graph, as []Assignment) ([]*Result, error)
 
 // EvaluateMoves implements MoveEvaluator: it scores every single-source
 // width change applied (independently) to base, returning results in move
-// order, bit-identical to EvaluateBatch on the equivalently moved
-// assignments. On transfer-cached plans each move costs O(npsd log S) —
-// one leaf of the contribution tree is swapped against the shared base
-// state — instead of a full re-evaluation; plans on the full-propagation
-// fallback materialize the moved assignments and fan them across the
-// worker pool like a batch.
+// order. PSD bins, means and per-source rows are bit-identical to
+// EvaluateBatch on the equivalently moved assignments; Power and Variance
+// are the scalar tier's, bit-identical to PowerMoves. On transfer-cached
+// plans each move costs O(npsd log S) — one leaf of the contribution tree
+// is swapped against a pooled base state — instead of a full
+// re-evaluation; plans on the full-propagation fallback materialize the
+// moved assignments and fan them across the worker pool like a batch.
 func (e *Engine) EvaluateMoves(g *sfg.Graph, base Assignment, moves []Move) ([]*Result, error) {
 	if len(moves) == 0 {
 		return nil, nil
@@ -287,6 +363,25 @@ func (e *Engine) EvaluateMoves(g *sfg.Graph, base Assignment, moves []Move) ([]*
 		return nil, err
 	}
 	return p.evaluateMoves(base, moves, e.workers)
+}
+
+// PowerMoves implements MovePowerEvaluator: it scores every single-source
+// width change applied (independently) to base and returns only the
+// output powers, in move order — on transfer-cached plans O(1) per move
+// (one σ²-table lookup plus an O(log S) scalar leaf swap, no per-bin
+// traffic and no Result materialization), bit-identical to the Power
+// fields EvaluateMoves reports. This is the word-length optimizer's
+// per-step hot call. Plans on the full-propagation fallback materialize
+// the moves like EvaluateMoves and extract the powers.
+func (e *Engine) PowerMoves(g *sfg.Graph, base Assignment, moves []Move) ([]float64, error) {
+	if len(moves) == 0 {
+		return nil, nil
+	}
+	p, err := e.plan(g)
+	if err != nil {
+		return nil, err
+	}
+	return p.powerMoves(base, moves, e.workers)
 }
 
 // evaluateAll scores assignments across at most workers goroutines,
@@ -341,10 +436,11 @@ type graphPlan struct {
 	cached    bool               // transfer profiles validated; cached path is canonical
 	profiles  []transferProfile  // by source index (NoiseSources order)
 	srcIndex  map[sfg.NodeID]int // source id -> profile index
-	statePool sync.Pool          // of *contribState, for cached Evaluate/EvaluateBatch
+	statePool sync.Pool          // of *contribState, for cached evaluation and moves
 
-	deltaMu sync.Mutex    // guards delta
-	delta   *contribState // shared base state of the move path
+	sigmaOnce  sync.Once      // lazily builds the σ² width tables
+	sigma      [][]sigmaEntry // per-source width→(σ², μ) tables; see sigmaFor
+	scalarPool sync.Pool      // of *scalarState, for PowerMoves
 }
 
 func newGraphPlanMode(g *sfg.Graph, npsd int, forceFull bool) (*graphPlan, error) {
@@ -371,6 +467,7 @@ func newGraphPlanMode(g *sfg.Graph, npsd int, forceFull bool) (*graphPlan, error
 		p.buildProfiles()
 	}
 	p.statePool.New = func() any { return newContribState(p) }
+	p.scalarPool.New = func() any { return newScalarState(p) }
 	return p, nil
 }
 

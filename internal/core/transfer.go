@@ -22,24 +22,43 @@ import (
 // with S_k and G independent of the source width. Plan construction
 // propagates a unit-moment (mean 1, variance 1) wave from each source once
 // and caches (S_k, G) as that source's transferProfile; evaluate then reduces to one
-// fused multiply per source per bin, and a single-width move to an
-// O(npsd log S) leaf swap (see contribState). Graphs whose propagation
-// fails the exactness probe below fall back to full propagation.
+// fused multiply per source per bin, a single-width move's materialized
+// Result to an O(npsd log S) leaf swap (see contribState), and a move's
+// scalar *score* to one σ²-table lookup plus an O(log S) scalar leaf swap
+// with no per-bin traffic at all (see scalarState — every optimizer
+// strategy consumes only the scalar output power). Graphs whose
+// propagation fails the exactness probe below fall back to full
+// propagation.
 //
-// Bit-identity contract: Evaluate, EvaluateAssignment, EvaluateBatch and
-// EvaluateMoves all reduce contributions through the same fixed-shape
-// pairwise tree, so their results are bit-identical to one another for any
-// worker count. The retained full-propagation path is the reference the
-// equivalence tests compare against (within 1e-12 relative; exactly equal
-// on graphs that stay coherent to the output when npsd is a power of two,
-// where the cached rounding coincides with the propagated rounding).
+// Bit-identity contract, per tier:
+//
+//   - Evaluate, EvaluateAssignment and EvaluateBatch reduce contributions
+//     through the same fixed-shape pairwise tree and are bit-identical to
+//     one another for any worker count.
+//   - EvaluateMoves produces PSD bins, means and per-source rows
+//     bit-identical to EvaluateBatch on the equivalently moved
+//     assignments; its Power and Variance come from the scalar tier and
+//     are bit-identical to PowerMoves by construction, and within 1e-12
+//     relative of the batch paths' bin-summed derivation (the same real
+//     sum, associated per source instead of per bin).
+//   - The retained full-propagation path is the reference all cached
+//     tiers are compared against (within 1e-12 relative; exactly equal on
+//     graphs that stay coherent to the output when npsd is a power of
+//     two, where the cached rounding coincides with the propagated
+//     rounding).
 
 // transferProfile is one noise source's cached width-independent transfer:
 // the output PSD of a unit-variance injection and the output mean of a
-// unit-mean injection.
+// unit-mean injection, plus the scalar energy of the unit shape — the
+// canonical bin sum of bins, i.e. the output variance a unit-variance
+// source contributes. The energy is what the scalar move-scoring tier
+// leans on conceptually (σ²(w) ≈ variance(w) · energy); the σ² tables it
+// actually serves from are built with the exact scale-then-sum kernel of
+// the per-bin path so the table stays bit-identical to it (see sigmaFor).
 type transferProfile struct {
 	bins     []float64 // output AC bins per unit source variance
 	meanGain float64   // output mean per unit source mean
+	energy   float64   // psd.Sum(bins): output variance per unit source variance
 }
 
 // buildProfiles propagates a unit wave from every source and validates the
@@ -72,6 +91,7 @@ func (p *graphPlan) buildProfiles() {
 		prof := transferProfile{
 			bins:     append([]float64(nil), unit.Bins...),
 			meanGain: unit.Mean,
+			energy:   psd.Sum(unit.Bins),
 		}
 		s.reset()
 		probe, err := p.propagate(s, id, -8, 4)
@@ -89,6 +109,81 @@ func (p *graphPlan) buildProfiles() {
 		p.profiles[i] = prof
 	}
 	p.cached = true
+}
+
+// The σ²-table tier: every strategy consumes only the scalar output power
+// of a candidate move, so the per-bin work of the delta path is wasted on
+// the hot loop. For each source the plan memoizes, over the feasible width
+// grid, the scalar pair (σ²(w), μ(w)) — the per-source output variance and
+// mean at width w. Each entry is computed with the exact scale-then-sum
+// kernel fillLeaf runs (psd.ScaleInto followed by the canonical psd.Sum),
+// so a table lookup is bit-identical to the per-bin path's per-source
+// variance by construction, and a move score becomes one lookup plus a
+// fixed-shape scalar walk up the contribution tree (see scalarState).
+
+// sigmaGridMin/Max bound the memoized width grid. wlopt clamps widths to
+// [1, 48]; widths outside the grid fall back to computing the same kernel
+// directly (cold path, still bit-identical).
+const (
+	sigmaGridMin = 0
+	sigmaGridMax = 48
+)
+
+// sigmaEntry is one memoized (width → scalar contribution) table cell.
+type sigmaEntry struct {
+	vari float64 // σ²(w): output variance this source contributes
+	mean float64 // μ(w): output mean this source contributes
+}
+
+// buildSigmaTables fills the per-source width→(σ², μ) tables. Invoked
+// lazily (once per plan) on the first scalar lookup, so plans that never
+// score moves skip the grid sweep. The sweep is a single fused pass over
+// each profile's bins accumulating every width at once: acc_w += v_w·b_k
+// in ascending k performs, per width, exactly the multiplies and
+// additions of fillLeaf's psd.ScaleInto followed by psd.Sum — the same
+// values in the same order, so every table cell is bit-identical to the
+// per-bin path — without materializing any scaled buffer.
+func (p *graphPlan) buildSigmaTables() {
+	const nw = sigmaGridMax - sigmaGridMin + 1
+	p.sigma = make([][]sigmaEntry, len(p.profiles))
+	var vars, acc [nw]float64
+	for i := range p.profiles {
+		prof := &p.profiles[i]
+		tab := make([]sigmaEntry, nw)
+		for w := range tab {
+			m := p.resolveSourceFrac(i, sigmaGridMin+w)
+			vars[w] = m.Variance
+			acc[w] = 0
+			tab[w].mean = m.Mean * prof.meanGain
+		}
+		for _, b := range prof.bins {
+			for w := range acc {
+				acc[w] += vars[w] * b
+			}
+		}
+		for w := range tab {
+			tab[w].vari = acc[w]
+		}
+		p.sigma[i] = tab
+	}
+}
+
+// sigmaFor returns source i's scalar output contribution (σ², μ) at the
+// given width: a table lookup on the grid, the same fused
+// scale-and-accumulate kernel off it. Either way the value is
+// bit-identical to what fillLeaf's per-bin path computes for that width.
+func (p *graphPlan) sigmaFor(i, frac int) (vari, mean float64) {
+	if frac >= sigmaGridMin && frac <= sigmaGridMax {
+		p.sigmaOnce.Do(p.buildSigmaTables)
+		e := p.sigma[i][frac-sigmaGridMin]
+		return e.vari, e.mean
+	}
+	m := p.resolveSourceFrac(i, frac)
+	var acc float64
+	for _, b := range p.profiles[i].bins {
+		acc += m.Variance * b
+	}
+	return acc, m.Mean * p.profiles[i].meanGain
 }
 
 // resolveSource returns source i's width and moments under assignment a
@@ -130,6 +225,7 @@ type contribState struct {
 
 	binLevels  [][][]float64 // reduction levels above the leaves
 	meanLevels [][]float64   // matching scalar reduction for the means
+	varLevels  [][]float64   // matching scalar reduction for the variances
 
 	dirty    []int     // scratch for build's changed-leaf bookkeeping
 	moveBins []float64 // scratch root accumulator of resultForMove
@@ -171,6 +267,7 @@ func newContribState(p *graphPlan) *contribState {
 		}
 		st.binLevels = append(st.binLevels, next)
 		st.meanLevels = append(st.meanLevels, nextMean)
+		st.varLevels = append(st.varLevels, make([]float64, len(next)))
 		level = next
 	}
 	return st
@@ -191,6 +288,15 @@ func (st *contribState) childMeans(l int) []float64 {
 	return st.meanLevels[l-1]
 }
 
+// childVars returns the scalar variance values feeding level l (the
+// per-source variances for l == 0).
+func (st *contribState) childVars(l int) []float64 {
+	if l == 0 {
+		return st.perVar
+	}
+	return st.varLevels[l-1]
+}
+
 // fillLeaf computes source i's contribution from its cached profile.
 func (st *contribState) fillLeaf(i int) {
 	prof := &st.plan.profiles[i]
@@ -204,13 +310,15 @@ func (st *contribState) combinePath(i int) {
 	idx := i
 	for l := range st.binLevels {
 		parent := idx / 2
-		children, means := st.childBins(l), st.childMeans(l)
+		children, means, vars := st.childBins(l), st.childMeans(l), st.childVars(l)
 		if 2*parent+1 < len(children) {
 			psd.AddInto(st.binLevels[l][parent], children[2*parent], children[2*parent+1])
 			st.meanLevels[l][parent] = means[2*parent] + means[2*parent+1]
+			st.varLevels[l][parent] = vars[2*parent] + vars[2*parent+1]
 		} else {
-			// Passthrough: bins alias the child; only the scalar copies.
+			// Passthrough: bins alias the child; only the scalars copy.
 			st.meanLevels[l][parent] = means[2*parent]
+			st.varLevels[l][parent] = vars[2*parent]
 		}
 		idx = parent
 	}
@@ -249,13 +357,15 @@ func (st *contribState) build(a Assignment) {
 		return
 	}
 	for l := range st.binLevels {
-		children, means := st.childBins(l), st.childMeans(l)
+		children, means, vars := st.childBins(l), st.childMeans(l), st.childVars(l)
 		for j := range st.binLevels[l] {
 			if 2*j+1 < len(children) {
 				psd.AddInto(st.binLevels[l][j], children[2*j], children[2*j+1])
 				st.meanLevels[l][j] = means[2*j] + means[2*j+1]
+				st.varLevels[l][j] = vars[2*j] + vars[2*j+1]
 			} else {
 				st.meanLevels[l][j] = means[2*j]
+				st.varLevels[l][j] = vars[2*j]
 			}
 		}
 	}
@@ -286,18 +396,23 @@ func (st *contribState) rootMean() float64 {
 // field derivations (variance as the canonical bin sum, power from mean
 // and variance).
 func (st *contribState) result() *Result {
-	return st.materialize(st.rootBins(), st.rootMean(), -1, 0, 0)
+	return st.materialize(st.rootBins(), st.rootMean(), psd.Sum(st.rootBins()), -1, 0, 0)
 }
 
-// materialize builds a Result from root bins and mean, substituting
-// source moveSrc's per-source contribution when moveSrc >= 0.
-func (st *contribState) materialize(root []float64, rootMean float64, moveSrc int, movePerVar, moveMean float64) *Result {
+// materialize builds a Result from root bins, mean and variance,
+// substituting source moveSrc's per-source contribution when moveSrc >= 0.
+// The variance is passed in because the two cached paths derive it
+// differently: assignment evaluation sums the root bins (the full path's
+// derivation, kept bit-stable), while the move path reduces the per-source
+// scalar variances through the contribution tree — the scalar-tier
+// association PowerMoves shares.
+func (st *contribState) materialize(root []float64, rootMean, variance float64, moveSrc int, movePerVar, moveMean float64) *Result {
 	p := st.plan
 	res := &Result{PSD: psd.New(p.npsd)}
 	copy(res.PSD.Bins, root)
 	res.Mean = rootMean
 	res.PSD.Mean = rootMean
-	res.Variance = psd.Sum(res.PSD.Bins)
+	res.Variance = variance
 	res.Power = res.Mean*res.Mean + res.Variance
 	sources := p.snap.NoiseSources()
 	res.PerSource = make([]SourceContribution, len(sources))
@@ -318,17 +433,21 @@ func (st *contribState) materialize(root []float64, rootMean float64, moveSrc in
 // resultForMove materializes the result of the state's base assignment
 // with source si moved to frac, without mutating the tree: the moved leaf
 // is accumulated with the untouched sibling nodes along its root path.
-// IEEE-754 addition is commutative bit-for-bit, so these are exactly the
-// additions a fresh build of the moved assignment performs on that path —
-// the delta result is bit-identical to a from-scratch evaluation at
-// O(npsd log S) cost.
+// IEEE-754 addition is commutative bit-for-bit, so the PSD bins, mean and
+// per-source rows are exactly the values a fresh build of the moved
+// assignment produces. Power and Variance, however, come from the same
+// fixed-shape scalar walk PowerMoves runs (the moved σ² from the width
+// table, plus the sibling scalar variances up the root path), so a
+// materialized move and its scalar score are bit-identical by
+// construction; against the bin-summed Variance of the batch paths they
+// agree within the reassociation ulp (1e-12 relative contract).
 func (st *contribState) resultForMove(si, frac int) *Result {
 	p := st.plan
 	m := p.resolveSourceFrac(si, frac)
+	moveVar, moveMean := p.sigmaFor(si, frac)
 	cur := st.moveBins
 	psd.ScaleInto(cur, p.profiles[si].bins, m.Variance)
-	movePerVar := psd.Sum(cur)
-	moveMean := m.Mean * p.profiles[si].meanGain
+	curVar := moveVar
 	curMean := moveMean
 	idx := si
 	for l := range st.binLevels {
@@ -338,10 +457,11 @@ func (st *contribState) resultForMove(si, frac int) *Result {
 			sib := idx ^ 1
 			psd.AddInto(cur, cur, children[sib])
 			curMean += st.childMeans(l)[sib]
+			curVar += st.childVars(l)[sib]
 		}
 		idx = parent
 	}
-	return st.materialize(cur, curMean, si, movePerVar, moveMean)
+	return st.materialize(cur, curMean, curVar, si, moveVar, moveMean)
 }
 
 // resolveSourceFrac is resolveSource with an explicit width override.
@@ -363,12 +483,15 @@ func (p *graphPlan) evaluateCached(a Assignment) *Result {
 }
 
 // evaluateMoves scores single-source width changes against base. On the
-// cached path each move swaps one leaf of a shared base state (restoring it
-// afterwards), which performs exactly the additions a fresh build would and
-// is therefore bit-identical to EvaluateBatch on the moved assignments. On
-// the full-propagation fallback the moved assignments are materialized and
-// evaluated through the same code EvaluateBatch runs, preserving the
-// bit-identity contract at full cost.
+// cached path each move swaps one leaf of a pooled base state — per-worker
+// state checked out of statePool, so concurrent move rounds on one plan
+// never serialize on shared delta state. PSD bins, mean and per-source
+// rows are bit-identical to EvaluateBatch on the moved assignments; Power
+// and Variance are the scalar tier's (bit-identical to PowerMoves, within
+// 1e-12 relative of the batch paths' bin-summed derivation). On the
+// full-propagation fallback the moved assignments are materialized and
+// evaluated through the same code EvaluateBatch runs, where full
+// bit-identity holds at full cost.
 func (p *graphPlan) evaluateMoves(base Assignment, moves []Move, workers int) ([]*Result, error) {
 	if !p.cached {
 		as := make([]Assignment, len(moves))
@@ -387,18 +510,187 @@ func (p *graphPlan) evaluateMoves(base Assignment, moves []Move, workers int) ([
 			return nil, fmt.Errorf("core: move on node %d, which is not a noise source", mv.Source)
 		}
 	}
-	p.deltaMu.Lock()
-	defer p.deltaMu.Unlock()
-	if p.delta == nil {
-		p.delta = newContribState(p)
-	}
-	st := p.delta
+	st := p.statePool.Get().(*contribState)
 	st.build(base)
 	results := make([]*Result, len(moves))
 	for i, mv := range moves {
 		results[i] = st.resultForMove(p.srcIndex[mv.Source], mv.Frac)
 	}
+	p.statePool.Put(st)
 	return results, nil
+}
+
+// scalarState is the O(1)-per-move scoring tier: the scalar shadow of a
+// contribState. It holds only the per-source scalar contributions (σ², μ)
+// of a base assignment and their reductions through the same fixed-shape
+// pairwise tree, no bins at all. Its leaf values come from the σ² width
+// tables (bit-identical to fillLeaf's scale-then-sum by construction) and
+// its tree additions mirror contribState's scalar additions one for one,
+// so a powerForMove score equals the Power field of the corresponding
+// resultForMove bit-for-bit while touching O(log S) scalars.
+type scalarState struct {
+	plan *graphPlan
+
+	fracs   []int     // resolved width per source — the state's identity
+	srcVar  []float64 // resolved source variance (moment, not output)
+	srcMean []float64 // resolved source mean
+
+	vars  []float64 // per-source output variances σ²(w)
+	means []float64 // per-source output means μ(w)
+
+	varLevels  [][]float64 // scalar reduction levels above the leaves
+	meanLevels [][]float64
+
+	dirty []int // scratch for build's changed-leaf bookkeeping
+}
+
+func newScalarState(p *graphPlan) *scalarState {
+	n := len(p.profiles)
+	ss := &scalarState{
+		plan:    p,
+		fracs:   make([]int, n),
+		srcVar:  make([]float64, n),
+		srcMean: make([]float64, n),
+		vars:    make([]float64, n),
+		means:   make([]float64, n),
+	}
+	for i := range ss.fracs {
+		ss.fracs[i] = -1 << 30 // never a real width: first build fills all
+	}
+	// Same level shape as contribState's tree, scalars only.
+	width := n
+	for width > 1 {
+		next := (width + 1) / 2
+		ss.varLevels = append(ss.varLevels, make([]float64, next))
+		ss.meanLevels = append(ss.meanLevels, make([]float64, next))
+		width = next
+	}
+	return ss
+}
+
+func (ss *scalarState) childVars(l int) []float64 {
+	if l == 0 {
+		return ss.vars
+	}
+	return ss.varLevels[l-1]
+}
+
+func (ss *scalarState) childMeans(l int) []float64 {
+	if l == 0 {
+		return ss.means
+	}
+	return ss.meanLevels[l-1]
+}
+
+// combinePath recombines the scalar ancestors of leaf i, bottom-up,
+// performing the same additions contribState.combinePath performs on its
+// scalar columns.
+func (ss *scalarState) combinePath(i int) {
+	idx := i
+	for l := range ss.varLevels {
+		parent := idx / 2
+		vars, means := ss.childVars(l), ss.childMeans(l)
+		if 2*parent+1 < len(vars) {
+			ss.varLevels[l][parent] = vars[2*parent] + vars[2*parent+1]
+			ss.meanLevels[l][parent] = means[2*parent] + means[2*parent+1]
+		} else {
+			ss.varLevels[l][parent] = vars[2*parent]
+			ss.meanLevels[l][parent] = means[2*parent]
+		}
+		idx = parent
+	}
+}
+
+// build (re)computes the scalar state for assignment a, reusing unchanged
+// leaves exactly like contribState.build — table lookups replace the
+// per-bin scale-and-sum, with bit-identical leaf values.
+func (ss *scalarState) build(a Assignment) {
+	changed := ss.dirty[:0]
+	for i := range ss.fracs {
+		frac, m := ss.plan.resolveSource(i, a)
+		if frac == ss.fracs[i] && m.Variance == ss.srcVar[i] && m.Mean == ss.srcMean[i] {
+			continue
+		}
+		ss.fracs[i] = frac
+		ss.srcVar[i] = m.Variance
+		ss.srcMean[i] = m.Mean
+		ss.vars[i], ss.means[i] = ss.plan.sigmaFor(i, frac)
+		changed = append(changed, i)
+	}
+	ss.dirty = changed
+	if len(changed) == 0 {
+		return
+	}
+	if len(changed)*max(len(ss.varLevels), 1) < len(ss.fracs) {
+		for _, i := range changed {
+			ss.combinePath(i)
+		}
+		return
+	}
+	for l := range ss.varLevels {
+		vars, means := ss.childVars(l), ss.childMeans(l)
+		for j := range ss.varLevels[l] {
+			if 2*j+1 < len(vars) {
+				ss.varLevels[l][j] = vars[2*j] + vars[2*j+1]
+				ss.meanLevels[l][j] = means[2*j] + means[2*j+1]
+			} else {
+				ss.varLevels[l][j] = vars[2*j]
+				ss.meanLevels[l][j] = means[2*j]
+			}
+		}
+	}
+}
+
+// powerForMove scores the base assignment with source si moved to frac:
+// one σ²-table lookup plus the fixed-shape scalar walk up the tree — the
+// exact scalar operations resultForMove performs, hence bit-identical to
+// its Power, at O(log S) cost with no per-bin traffic.
+func (ss *scalarState) powerForMove(si, frac int) float64 {
+	curVar, curMean := ss.plan.sigmaFor(si, frac)
+	idx := si
+	for l := range ss.varLevels {
+		parent := idx / 2
+		vars := ss.childVars(l)
+		if 2*parent+1 < len(vars) {
+			sib := idx ^ 1
+			curVar += vars[sib]
+			curMean += ss.childMeans(l)[sib]
+		}
+		idx = parent
+	}
+	return curMean*curMean + curVar
+}
+
+// powerMoves is the scalar scoring entry: output powers only, one table
+// lookup plus a scalar leaf-swap per move on cached plans. On the
+// full-propagation fallback it materializes Results through evaluateMoves
+// (so powers remain bit-identical to that path there too) and extracts
+// their powers.
+func (p *graphPlan) powerMoves(base Assignment, moves []Move, workers int) ([]float64, error) {
+	if !p.cached {
+		rs, err := p.evaluateMoves(base, moves, workers)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			out[i] = r.Power
+		}
+		return out, nil
+	}
+	for _, mv := range moves {
+		if _, ok := p.srcIndex[mv.Source]; !ok {
+			return nil, fmt.Errorf("core: move on node %d, which is not a noise source", mv.Source)
+		}
+	}
+	ss := p.scalarPool.Get().(*scalarState)
+	ss.build(base)
+	out := make([]float64, len(moves))
+	for i, mv := range moves {
+		out[i] = ss.powerForMove(p.srcIndex[mv.Source], mv.Frac)
+	}
+	p.scalarPool.Put(ss)
+	return out, nil
 }
 
 func (p *graphPlan) isSource(id sfg.NodeID) bool {

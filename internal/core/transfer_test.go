@@ -118,12 +118,60 @@ func movesOf(base Assignment, sources []sfg.NodeID, lo, hi int, rng *rand.Rand) 
 	return moves
 }
 
+// moveResultEqual pins the move tier's contract against a batch-path
+// result for the same moved assignment: PSD bins, mean and per-source
+// rows bit-identical; Power and Variance within 1e-12 relative (the move
+// tier reduces the per-source scalar variances through the contribution
+// tree, the batch tier sums the root bins — the same real sum under a
+// different association) and self-consistent (Power = Mean² + Variance
+// exactly).
+func moveResultEqual(t *testing.T, label string, move, batch *Result) {
+	t.Helper()
+	if move.Mean != batch.Mean {
+		t.Fatalf("%s: means diverge: %g vs %g", label, move.Mean, batch.Mean)
+	}
+	if len(move.PSD.Bins) != len(batch.PSD.Bins) {
+		t.Fatalf("%s: PSD grids differ", label)
+	}
+	for k := range move.PSD.Bins {
+		if move.PSD.Bins[k] != batch.PSD.Bins[k] {
+			t.Fatalf("%s: PSD bin %d differs: %g vs %g", label, k, move.PSD.Bins[k], batch.PSD.Bins[k])
+		}
+	}
+	if len(move.PerSource) != len(batch.PerSource) {
+		t.Fatalf("%s: per-source lengths differ", label)
+	}
+	for i := range move.PerSource {
+		if move.PerSource[i] != batch.PerSource[i] {
+			t.Fatalf("%s: per-source %d differs: %+v vs %+v", label, i, move.PerSource[i], batch.PerSource[i])
+		}
+	}
+	relClose := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		return math.Abs(x-y) <= 1e-12*scale
+	}
+	if !relClose(move.Power, batch.Power) || !relClose(move.Variance, batch.Variance) {
+		t.Fatalf("%s: power/variance outside 1e-12: (P=%g V=%g) vs (P=%g V=%g)",
+			label, move.Power, move.Variance, batch.Power, batch.Variance)
+	}
+	if move.Power != move.Mean*move.Mean+move.Variance {
+		t.Fatalf("%s: move result not self-consistent: P=%g, M²+V=%g",
+			label, move.Power, move.Mean*move.Mean+move.Variance)
+	}
+}
+
 // TestEvaluateMovesEquivalence is the incremental-versus-full property
-// sweep: for every registry system and random width assignments, the
-// results of EvaluateMoves must be bit-identical to EvaluateBatch on the
-// equivalently moved assignments and to per-call EvaluateAssignment, at
-// worker pools of 1 and 4 — all four paths reduce through the same
-// canonical contribution tree.
+// sweep: for every registry system and random width assignments, at worker
+// pools of 1 and 4, EvaluateMoves must reproduce EvaluateBatch (and
+// per-call EvaluateAssignment) on the equivalently moved assignments —
+// PSDs, means and per-source rows bit-identically, powers and variances
+// through the scalar tier's derivation within the documented 1e-12 — and
+// PowerMoves must be bit-identical to the Power fields EvaluateMoves
+// reports (the acceptance property of the scalar tier: all three share
+// the same table lookups and fixed-shape scalar walk).
 func TestEvaluateMovesEquivalence(t *testing.T) {
 	const lo, hi = 4, 20
 	rng := rand.New(rand.NewSource(7))
@@ -141,6 +189,10 @@ func TestEvaluateMovesEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s w=%d: moves: %v", name, workers, err)
 				}
+				powers, err := eng.PowerMoves(g, base, moves)
+				if err != nil {
+					t.Fatalf("%s w=%d: powers: %v", name, workers, err)
+				}
 				as := make([]Assignment, len(moves))
 				for i, mv := range moves {
 					a := base.Clone()
@@ -156,9 +208,52 @@ func TestEvaluateMovesEquivalence(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s w=%d: single: %v", name, workers, err)
 					}
-					resultsEqual(t, name+"/moves-vs-batch", got[i], batch[i], 0)
-					resultsEqual(t, name+"/moves-vs-single", got[i], single, 0)
+					if powers[i] != got[i].Power {
+						t.Fatalf("%s w=%d: scalar move score %.17g diverges from EvaluateMoves power %.17g",
+							name, workers, powers[i], got[i].Power)
+					}
+					moveResultEqual(t, name+"/moves-vs-batch", got[i], batch[i])
+					moveResultEqual(t, name+"/moves-vs-single", got[i], single)
 				}
+			}
+		}
+	}
+}
+
+// TestPowerMovesAgainstFullPropagation closes the tier chain: the scalar
+// move scores of a cached plan agree with the full per-source propagation
+// reference — the same moves materialized on a forced-full engine — within
+// the 1e-12 relative contract, for every registry system. On the forced
+// engine itself PowerMoves falls back through the materialized path and is
+// bit-identical to its EvaluateMoves powers.
+func TestPowerMovesAgainstFullPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, g := range registryGraphs(t, 14) {
+		cached := NewEngine(128, 2)
+		full := NewEngine(128, 2)
+		full.SetFullPropagation(true)
+		base := AssignmentOf(g)
+		moves := movesOf(base, g.NoiseSources(), 4, 20, rng)
+		scalar, err := cached.PowerMoves(g, base, moves)
+		if err != nil {
+			t.Fatalf("%s: scalar: %v", name, err)
+		}
+		ref, err := full.EvaluateMoves(g, base, moves)
+		if err != nil {
+			t.Fatalf("%s: full: %v", name, err)
+		}
+		fullPowers, err := full.PowerMoves(g, base, moves)
+		if err != nil {
+			t.Fatalf("%s: full powers: %v", name, err)
+		}
+		for i := range moves {
+			if rel := math.Abs(scalar[i]-ref[i].Power) / math.Max(scalar[i], ref[i].Power); rel > 1e-12 {
+				t.Fatalf("%s: move %d scalar power %g vs full-propagation %g (rel %g)",
+					name, i, scalar[i], ref[i].Power, rel)
+			}
+			if fullPowers[i] != ref[i].Power {
+				t.Fatalf("%s: forced-full PowerMoves %g diverges from its EvaluateMoves %g",
+					name, fullPowers[i], ref[i].Power)
 			}
 		}
 	}
@@ -331,11 +426,10 @@ func TestPlanCacheLRU(t *testing.T) {
 	if _, err := small.Evaluate(gC); err != nil {
 		t.Fatal(err)
 	}
-	small.mu.Lock()
-	_, hasA := small.plans[gA]
-	_, hasB := small.plans[gB]
-	_, hasC := small.plans[gC]
-	small.mu.Unlock()
+	pm := small.plans.Load().m
+	_, hasA := pm[gA]
+	_, hasB := pm[gB]
+	_, hasC := pm[gC]
 	if !hasA || hasB || !hasC {
 		t.Fatalf("LRU kept A=%v B=%v C=%v, want A and C", hasA, hasB, hasC)
 	}

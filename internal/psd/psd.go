@@ -217,19 +217,32 @@ func (p PSD) DownsampleInto(out PSD, factor int) PSD {
 }
 
 // densityAt returns the PSD density (power per unit normalized frequency)
-// at fractional bin position pos, via circular linear interpolation.
+// at fractional bin position pos, via circular linear interpolation. The
+// in-range fast path skips the float modulo (the identity for
+// 0 <= pos < n) — DownsampleInto's positions always land there, and the
+// reduction was a fifth of plan-build time under the profiler.
 func (p PSD) densityAt(pos float64) float64 {
 	n := len(p.Bins)
 	fn := float64(n)
-	pos = math.Mod(pos, fn)
-	if pos < 0 {
-		pos += fn
+	if pos < 0 || pos >= fn {
+		pos = math.Mod(pos, fn)
+		if pos < 0 {
+			pos += fn
+			if pos >= fn {
+				// A tiny negative remainder rounds -ε + fn up to exactly
+				// fn; wrap to 0 like the old i % n did (same interpolands:
+				// frac is 0 either way).
+				pos = 0
+			}
+		}
 	}
-	i := int(math.Floor(pos))
+	i := int(pos)
 	frac := pos - float64(i)
-	i0 := i % n
-	i1 := (i + 1) % n
-	d0 := p.Bins[i0] * fn
+	i1 := i + 1
+	if i1 == n {
+		i1 = 0
+	}
+	d0 := p.Bins[i] * fn
 	d1 := p.Bins[i1] * fn
 	return d0*(1-frac) + d1*frac
 }
@@ -265,10 +278,17 @@ func (p PSD) UpsampleInto(out PSD, factor int) PSD {
 	}
 	out.Mean = p.Mean / float64(factor)
 	inv := 1 / float64(factor*factor)
+	// idx walks (factor*j + m) mod n incrementally — the same indices the
+	// direct modulo produces, without a division per sample.
 	for j := 0; j < n; j++ {
+		idx := (factor * j) % n
 		var s float64
 		for m := 0; m < factor; m++ {
-			s += p.Bins[(factor*j+m)%n]
+			s += p.Bins[idx]
+			idx++
+			if idx == n {
+				idx = 0
+			}
 		}
 		out.Bins[j] = s * inv
 	}

@@ -33,12 +33,19 @@ func (ascentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur, power, err = climb(o, opt, cur, power)
+	cur, _, err = climb(o, opt, cur, power)
 	if err != nil {
 		return nil, err
 	}
-	res.Power = power
 	cur.Apply(o.Graph())
+	// The climb searched on scalar move scores; report the final power in
+	// the canonical Result derivation (uncounted — no new decision made),
+	// so the result matches an independent Evaluate of the graph exactly.
+	final, err := o.ReportGraphPower()
+	if err != nil {
+		return nil, err
+	}
+	res.Power = final
 	o.fillFromGraph(res)
 
 	// Uniform baseline for comparison.
@@ -60,14 +67,19 @@ func (ascentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 // Cancelled flag. It is the core of the ascent strategy and the first
 // phase of the hybrid strategy.
 func climb(o *Oracle, opt Options, cur core.Assignment, power float64) (core.Assignment, float64, error) {
+	type cand struct {
+		id    sfg.NodeID
+		power float64
+		score float64 // noise reduction per unit cost
+	}
+	// The incumbent is owned by the loop (callers hand over a fresh
+	// assignment and use only the returned one), so accepted increments
+	// mutate it in place and the candidate buffers are reused across
+	// steps — no per-step allocation beyond the oracle round.
+	cands := make([]cand, 0, len(o.Sources()))
+	moves := make([]core.Move, 0, len(o.Sources()))
 	for power > opt.Budget && !o.Cancelled() {
-		type cand struct {
-			id    sfg.NodeID
-			power float64
-			score float64 // noise reduction per unit cost
-		}
-		var cands []cand
-		var moves []core.Move
+		cands, moves = cands[:0], moves[:0]
 		for _, id := range o.Sources() {
 			if cur[id] >= opt.MaxFrac {
 				continue
@@ -97,7 +109,6 @@ func climb(o *Oracle, opt Options, cur core.Assignment, power float64) (core.Ass
 		if !found {
 			return nil, 0, fmt.Errorf("wlopt: ascent stuck above budget (power %g > %g)", power, opt.Budget)
 		}
-		cur = cur.Clone()
 		cur[best.id]++
 		power = best.power
 		o.StepDone(o.Cost(cur), power)

@@ -50,20 +50,33 @@ func (descentStrategy) Run(o *Oracle, opt Options) (*Result, error) {
 
 // trim runs the greedy bit-removal loop from cur: every step scores all
 // feasible single-bit removals as one oracle round of Moves against the
-// incumbent — the delta path on move-capable evaluators — and takes the
-// one freeing the most cost, until no removal stays under the budget (or
-// the run is cancelled, in which case the incumbent is returned as is). It
-// is the whole of the descent strategy and the second phase of the hybrid
+// incumbent — the scalar tier on capable evaluators — and takes the one
+// freeing the most cost, until no removal stays under the budget (or the
+// run is cancelled, in which case the incumbent is returned as is). It is
+// the whole of the descent strategy and the second phase of the hybrid
 // strategy.
+//
+// Feasibility decisions compare scalar move scores against the budget;
+// the final reported power is the canonical graph evaluation, which
+// agrees with those scores within 1e-12 relative. A budget placed within
+// that sliver of an achievable power can therefore report marginally over
+// budget — callers needing a hard guarantee should pad the budget by a
+// part in 1e12.
 func trim(o *Oracle, opt Options, cur core.Assignment) (core.Assignment, error) {
+	type cand struct {
+		id    sfg.NodeID
+		power float64
+		gain  float64
+	}
+	// The incumbent is owned by the loop (callers hand over a fresh
+	// assignment and use only the returned one), so each accepted removal
+	// mutates it in place, and the per-step candidate buffers are reused
+	// across steps — the greedy loop allocates nothing per step beyond
+	// the oracle round itself.
+	cands := make([]cand, 0, len(o.Sources()))
+	moves := make([]core.Move, 0, len(o.Sources()))
 	for !o.Cancelled() {
-		type cand struct {
-			id    sfg.NodeID
-			power float64
-			gain  float64
-		}
-		var cands []cand
-		var moves []core.Move
+		cands, moves = cands[:0], moves[:0]
 		for _, id := range o.Sources() {
 			if cur[id] <= opt.MinFrac {
 				continue
@@ -98,7 +111,6 @@ func trim(o *Oracle, opt Options, cur core.Assignment) (core.Assignment, error) 
 			}
 			return feasible[i].power < feasible[j].power
 		})
-		cur = cur.Clone()
 		cur[feasible[0].id]--
 		o.StepDone(o.Cost(cur), feasible[0].power)
 	}

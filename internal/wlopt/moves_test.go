@@ -1,6 +1,7 @@
 package wlopt
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -65,7 +66,10 @@ func TestStrategiesMovePathEquivalence(t *testing.T) {
 }
 
 // TestPowersMovesAccounting: PowersMoves counts one oracle call per move on
-// both the delta path and the fallback, and returns bit-identical powers.
+// both the scalar path and the fallback, and returns powers within the
+// 1e-12 relative contract (the scalar tier reassociates the variance sum,
+// so cross-path powers are close, not bitwise equal; decision equivalence
+// is pinned by TestStrategiesMovePathEquivalence).
 func TestPowersMovesAccounting(t *testing.T) {
 	g := buildTwoStage(t)
 	opt := Options{Budget: 1e-8, MinFrac: 4, MaxFrac: 24}
@@ -99,7 +103,12 @@ func TestPowersMovesAccounting(t *testing.T) {
 	if fallback.Evaluations() != len(moves) {
 		t.Fatalf("fallback counted %d calls, want %d", fallback.Evaluations(), len(moves))
 	}
-	if !reflect.DeepEqual(p1, p2) {
-		t.Fatalf("move powers diverge across paths:\n  delta:    %v\n  fallback: %v", p1, p2)
+	if len(p1) != len(p2) {
+		t.Fatalf("move power counts diverge: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if rel := math.Abs(p1[i]-p2[i]) / math.Max(p1[i], p2[i]); rel > 1e-12 {
+			t.Fatalf("move %d powers diverge beyond 1e-12 across paths: scalar %g, fallback %g", i, p1[i], p2[i])
+		}
 	}
 }
