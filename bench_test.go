@@ -29,6 +29,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/sfg"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/systems"
 	"repro/internal/wlopt"
 )
@@ -557,4 +558,119 @@ func BenchmarkEvaluateBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkColdStartWarmStore measures what the persistent warm store buys
+// a restarted daemon. "inmem-warm" is the baseline: duplicate submissions
+// against a live manager's LRU. "store-warm" restarts the whole service
+// (fresh manager, fresh engine) every iteration over a pre-populated store
+// directory — the duplicate submit must be served from disk with zero plan
+// builds. "restored-plan-search" submits *new* options per iteration on a
+// restarted manager, so a full search runs on a plan restored from disk:
+// no graph propagation, no FFT response sampling, PlanBuilds stays zero.
+func BenchmarkColdStartWarmStore(b *testing.B) {
+	baseReq := service.Request{System: "dwt97(fig3)", Options: spec.Options{
+		Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 12, Seed: 1,
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cfg := service.Config{NPSD: 256, Workers: 2, JobHistory: 64}
+
+	submitDone := func(b *testing.B, m *service.Manager, req service.Request) *service.JobInfo {
+		b.Helper()
+		info, err := m.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fin, err := m.Wait(ctx, info.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fin.State != service.JobDone {
+			b.Fatalf("state %s (%s)", fin.State, fin.Error)
+		}
+		return fin
+	}
+	openStore := func(b *testing.B, dir string) *store.Store {
+		b.Helper()
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+
+	b.Run("inmem-warm", func(b *testing.B) {
+		m := service.New(cfg)
+		defer m.Close()
+		submitDone(b, m, baseReq)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fin := submitDone(b, m, baseReq); !fin.CacheHit {
+				b.Fatal("warm submission missed the in-memory cache")
+			}
+		}
+	})
+
+	b.Run("store-warm", func(b *testing.B) {
+		dir := b.TempDir()
+		seedCfg := cfg
+		seedCfg.Store = openStore(b, dir)
+		seeder := service.New(seedCfg)
+		submitDone(b, seeder, baseReq)
+		seeder.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			restartCfg := cfg
+			restartCfg.Store = openStore(b, dir)
+			m := service.New(restartCfg)
+			b.StartTimer()
+			fin := submitDone(b, m, baseReq)
+			b.StopTimer()
+			if !fin.CacheHit {
+				b.Fatal("restarted daemon missed the persistent store")
+			}
+			if st := m.Stats(); st.PlanBuilds != 0 {
+				b.Fatalf("restarted daemon built %d plans", st.PlanBuilds)
+			}
+			m.Close()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("restored-plan-search", func(b *testing.B) {
+		dir := b.TempDir()
+		seedCfg := cfg
+		seedCfg.Store = openStore(b, dir)
+		seeder := service.New(seedCfg)
+		submitDone(b, seeder, baseReq)
+		seeder.Close()
+		seed := int64(1000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			restartCfg := cfg
+			restartCfg.Store = openStore(b, dir)
+			m := service.New(restartCfg)
+			req := baseReq
+			req.Options.Seed = seed // unseen options: forces a real search
+			seed++
+			b.StartTimer()
+			fin := submitDone(b, m, req)
+			b.StopTimer()
+			if fin.CacheHit {
+				b.Fatal("unseen options unexpectedly served from cache")
+			}
+			if st := m.Stats(); st.PlanBuilds != 0 || st.PlanRestores != 1 {
+				b.Fatalf("plan builds/restores = %d/%d, want 0/1 (search must run on the restored plan)",
+					st.PlanBuilds, st.PlanRestores)
+			}
+			m.Close()
+			b.StartTimer()
+		}
+	})
 }

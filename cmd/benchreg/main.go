@@ -85,7 +85,7 @@ type Report struct {
 
 func main() {
 	var (
-		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEvaluateMoves|BenchmarkEngineEvaluate|BenchmarkEnginePlanLookupParallel|BenchmarkFig6_Estimation|BenchmarkServiceSubmit",
+		bench = flag.String("bench", "BenchmarkWLOpt|BenchmarkEvaluateBatch|BenchmarkEvaluateMoves|BenchmarkEngineEvaluate|BenchmarkEnginePlanLookupParallel|BenchmarkFig6_Estimation|BenchmarkServiceSubmit|BenchmarkColdStartWarmStore",
 			"benchmark regex passed to go test -bench (BenchmarkWLOpt also matches BenchmarkWLOptParallel)")
 		cpu             = flag.String("cpu", "", "comma-separated GOMAXPROCS list passed to go test -cpu (e.g. '1,4,8'); each value records as its own benchmark variant")
 		count           = flag.Int("count", 3, "repetitions per benchmark (medians need >= 3)")

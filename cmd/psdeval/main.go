@@ -7,6 +7,15 @@
 //
 //	psdeval -spec system.json [-npsd 1024] [-simulate] [-samples 1000000]
 //	psdeval -system dwt97(fig3) [-frac 12] [-mode full|cached|delta]
+//	psdeval -system dwt97(fig3) -store ~/.cache/wlopt   # warm plans across runs
+//
+// The -store flag points at the same content-addressed warm store wloptd
+// uses: registry-system plans (transfer profiles + σ²-tables) restore from
+// disk instead of being rebuilt, and fresh builds are written through for
+// the next invocation (or for a daemon sharing the directory). It applies
+// to -system runs in cached/delta mode — block-spec files have no content
+// digest to address by, and -mode full deliberately bypasses the cache the
+// snapshots capture.
 //
 // The -mode flag selects the proposed method's evaluation path and makes
 // the transfer-cache speedup measurable from the CLI: "full" forces the
@@ -48,6 +57,7 @@ import (
 	"repro/internal/qnoise"
 	"repro/internal/sfg"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/systems"
 )
 
@@ -86,6 +96,7 @@ func main() {
 		mode     = flag.String("mode", core.EvalModeCached, "proposed-method evaluation path: full, cached, or delta")
 		reps     = flag.Int("reps", 1, "repetitions of the proposed-method evaluation for the timing readout (raise for stable µs/eval numbers)")
 		npsd     = flag.Int("npsd", 1024, "PSD bins")
+		storeDir = flag.String("store", "", "persistent warm-store directory for -system plans (shared with wloptd); empty disables")
 		simulate = flag.Bool("simulate", false, "run a Monte-Carlo cross-check")
 		samples  = flag.Int("samples", 1<<20, "simulation sample count")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -116,46 +127,59 @@ func main() {
 	if *reps < 1 {
 		*reps = 1
 	}
-	if err := run(*specPath, *sysName, *frac, *mode, *reps, *npsd, *simulate, *samples, *seed); err != nil {
+	if err := run(*specPath, *sysName, *frac, *mode, *reps, *npsd, *storeDir, *simulate, *samples, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "psdeval:", err)
 		os.Exit(1)
 	}
 }
 
 // loadGraph materializes the evaluation graph from a spec file or a
-// registry name, returning the graph and its nominal fractional width.
-func loadGraph(specPath, sysName string, frac int) (*sfg.Graph, int, error) {
+// registry name, returning the graph, its nominal fractional width, and —
+// for registry systems — the spec content digest that addresses its warm
+// state in a -store directory (empty for block-spec files).
+func loadGraph(specPath, sysName string, frac int) (*sfg.Graph, int, string, error) {
 	if sysName != "" {
 		reg, err := systems.Registry()
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, "", err
 		}
 		for _, sys := range reg {
 			if sys.Name() == sysName {
 				g, err := sys.Graph(frac)
-				return g, frac, err
+				if err != nil {
+					return nil, 0, "", err
+				}
+				sp, err := systems.SpecFor(sys, frac)
+				if err != nil {
+					return nil, 0, "", err
+				}
+				digest, err := sp.Digest()
+				if err != nil {
+					return nil, 0, "", err
+				}
+				return g, frac, digest, nil
 			}
 		}
 		names, _ := systems.RegistryNames()
-		return nil, 0, fmt.Errorf("unknown system %q (registry: %v)", sysName, names)
+		return nil, 0, "", fmt.Errorf("unknown system %q (registry: %v)", sysName, names)
 	}
 	raw, err := os.ReadFile(specPath)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	var spec systemSpec
 	if err := json.Unmarshal(raw, &spec); err != nil {
-		return nil, 0, fmt.Errorf("parsing %s: %w", specPath, err)
+		return nil, 0, "", fmt.Errorf("parsing %s: %w", specPath, err)
 	}
 	if spec.Frac <= 0 {
 		spec.Frac = 12
 	}
 	g, err := buildGraph(&spec)
-	return g, spec.Frac, err
+	return g, spec.Frac, "", err
 }
 
-func run(specPath, sysName string, frac int, mode string, reps, npsd int, simulate bool, samples int, seed int64) error {
-	g, frac, err := loadGraph(specPath, sysName, frac)
+func run(specPath, sysName string, frac int, mode string, reps, npsd int, storeDir string, simulate bool, samples int, seed int64) error {
+	g, frac, digest, err := loadGraph(specPath, sysName, frac)
 	if err != nil {
 		return err
 	}
@@ -177,9 +201,34 @@ func run(specPath, sysName string, frac int, mode string, reps, npsd int, simula
 	if mode == core.EvalModeFull {
 		eng.SetFullPropagation(true)
 	}
+	var warm *store.Store
+	if storeDir != "" && digest != "" && mode != core.EvalModeFull {
+		if warm, err = store.Open(storeDir); err != nil {
+			return err
+		}
+		warm.SetLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "psdeval: "+format+"\n", args...)
+		})
+		var snap core.PlanSnapshot
+		if warm.Get(store.KindPlan, store.PlanKey(digest, npsd), &snap) {
+			if err := eng.RestorePlan(g, &snap); err != nil {
+				// Shape mismatch is as good as corruption: rebuild below.
+				warm.Delete(store.KindPlan, store.PlanKey(digest, npsd))
+			} else {
+				fmt.Printf("warm store: plan restored from %s (no propagation, no response sampling)\n", storeDir)
+			}
+		}
+	}
 	planMode, err := eng.EvalMode(g)
 	if err != nil {
 		return fmt.Errorf("planning: %w", err)
+	}
+	if warm != nil && eng.PlanRestores() == 0 && planMode == core.EvalModeCached {
+		if snap, err := eng.SnapshotPlan(g); err == nil {
+			if warm.Put(store.KindPlan, store.PlanKey(digest, npsd), snap) == nil {
+				fmt.Printf("warm store: plan written through to %s\n", storeDir)
+			}
+		}
 	}
 	evalStart := time.Now()
 	var psdRes *core.Result

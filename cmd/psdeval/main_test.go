@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/store"
 )
 
 const sampleSpec = `{
@@ -28,30 +30,30 @@ func writeSpec(t *testing.T, body string) string {
 func TestRunHappyPath(t *testing.T) {
 	p := writeSpec(t, sampleSpec)
 	for _, mode := range []string{"cached", "full", "delta"} {
-		if err := run(p, "", 0, mode, 2, 128, true, 20000, 1); err != nil {
+		if err := run(p, "", 0, mode, 2, 128, "", true, 20000, 1); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
 	}
 }
 
 func TestRunRegistrySystem(t *testing.T) {
-	if err := run("", "dwt97(fig3)", 10, "delta", 2, 128, false, 0, 1); err != nil {
+	if err := run("", "dwt97(fig3)", 10, "delta", 2, 128, "", false, 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "no-such-system", 10, "cached", 1, 128, false, 0, 1); err == nil {
+	if err := run("", "no-such-system", 10, "cached", 1, 128, "", false, 0, 1); err == nil {
 		t.Fatal("unknown registry system should fail")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/nonexistent/spec.json", "", 0, "cached", 1, 128, false, 0, 0); err == nil {
+	if err := run("/nonexistent/spec.json", "", 0, "cached", 1, 128, "", false, 0, 0); err == nil {
 		t.Fatal("missing file should fail")
 	}
 }
 
 func TestRunBadJSON(t *testing.T) {
 	p := writeSpec(t, "{not json")
-	if err := run(p, "", 0, "cached", 1, 128, false, 0, 0); err == nil {
+	if err := run(p, "", 0, "cached", 1, 128, "", false, 0, 0); err == nil {
 		t.Fatal("bad JSON should fail")
 	}
 }
@@ -115,5 +117,24 @@ func TestBuildGraphExplicitCoefficients(t *testing.T) {
 	}
 	if _, err := buildGraph(&spec); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWarmStoreRoundTrip: the first -store run writes the plan through,
+// the second restores it from disk; delta mode's internal bit-for-bit
+// scalar/move/batch cross-checks then run on the restored plan.
+func TestRunWarmStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		if err := run("", "dwt97(fig3)", 10, "delta", 1, 128, dir, false, 0, 1); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Len(store.KindPlan); n != 1 {
+		t.Fatalf("%d plan entries after two runs, want 1", n)
 	}
 }

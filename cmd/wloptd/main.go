@@ -22,7 +22,17 @@
 //
 //	wloptd -addr :8080
 //	wloptd -addr 127.0.0.1:9000 -npsd 512 -workers 8 -cache 256
+//	wloptd -addr :8080 -store /var/lib/wloptd  # persistent warm store
 //	wloptd -addr :8080 -pprof 127.0.0.1:6060   # live profiling sidecar
+//
+// With -store, completed results and engine plan snapshots (transfer
+// profiles + σ²-tables) are written through to a content-addressed on-disk
+// store, so a restarted daemon answers repeat submissions from disk and
+// serves new options on known systems without rebuilding a single plan.
+// Corrupt or truncated entries are detected by checksum, logged, removed,
+// and rebuilt by the next job; the daemon never serves bad data. The
+// /healthz stats expose the store census plus plan_builds/plan_restores
+// counters for observing the effect.
 //
 // The -pprof flag serves net/http/pprof on a second, separate listener so
 // the service hot paths (plan lookups, scalar move scoring, the worker
@@ -55,20 +65,34 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/spec"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		npsd    = flag.Int("npsd", 0, "evaluation engine PSD bins (0 = 256)")
-		workers = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
-		inner   = flag.Int("inner", 0, "per-job oracle pool width (0 = 1)")
-		cache   = flag.Int("cache", 0, "result cache entries (0 = 128)")
-		queue   = flag.Int("queue", 0, "pending job queue bound (0 = 256)")
-		maxBody = flag.Int64("max-body", 1<<20, "maximum request body bytes")
-		pprof   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
+		addr     = flag.String("addr", ":8080", "listen address")
+		npsd     = flag.Int("npsd", 0, "evaluation engine PSD bins (0 = 256)")
+		workers  = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+		inner    = flag.Int("inner", 0, "per-job oracle pool width (0 = 1)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = 128)")
+		queue    = flag.Int("queue", 0, "pending job queue bound (0 = 256)")
+		maxBody  = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		storeDir = flag.String("store", "", "persistent warm-store directory (plans + results survive restarts); empty disables")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("wloptd: %v", err)
+		}
+		st.SetLogf(log.Printf)
+		log.Printf("wloptd: persistent store at %s (%d plans, %d results)",
+			*storeDir, st.Len(store.KindPlan), st.Len(store.KindResult))
+	}
 
 	if *pprof != "" {
 		// Separate listener on the default mux (where net/http/pprof
@@ -87,6 +111,7 @@ func main() {
 		InnerWorkers:    *inner,
 		ResultCacheSize: *cache,
 		QueueSize:       *queue,
+		Store:           st,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func healthStats(t *testing.T, base string) service.Stats {
+	t.Helper()
+	var health struct {
+		Status string        `json:"status"`
+		Stats  service.Stats `json:"stats"`
+	}
+	if code := httpJSON(t, http.MethodGet, base+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	return health.Stats
+}
+
+// TestDaemonSSEWatcherDisconnectCleanup is the watcher-lifecycle
+// regression test: clients that open ?watch=1 streams and vanish mid-job
+// must not leak subscriptions — the handler unsubscribes on request
+// context cancellation, and the watcher census on /healthz returns to
+// zero. Run under -race this also guards the handler/publisher
+// interleaving.
+func TestDaemonSSEWatcherDisconnectCleanup(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1, StepThrottle: 20 * time.Millisecond})
+	var info service.JobInfo
+	code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", map[string]any{
+		"system":  "dwt97(fig3)",
+		"options": map[string]any{"strategy": "descent", "budget_width": 8, "min_frac": 4, "max_frac": 14, "seed": 1},
+	}, &info)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+
+	// Several watchers connect...
+	const watchers = 3
+	resps := make([]*http.Response, 0, watchers)
+	for i := 0; i < watchers; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + info.ID + "?watch=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read a little so the stream is demonstrably live before we hang up.
+		buf := make([]byte, 64)
+		if _, err := resp.Body.Read(buf); err != nil {
+			t.Fatalf("watcher %d: %v", i, err)
+		}
+		resps = append(resps, resp)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for healthStats(t, ts.URL).Watchers != watchers {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchers = %d, want %d", healthStats(t, ts.URL).Watchers, watchers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ...and disconnect mid-job, without ever reading the stream to its end.
+	for _, resp := range resps {
+		resp.Body.Close()
+	}
+	for healthStats(t, ts.URL).Watchers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchers stuck at %d after disconnect", healthStats(t, ts.URL).Watchers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The job itself is unaffected by its audience leaving.
+	if fin := pollDone(t, ts.URL, info.ID); fin.State != service.JobDone {
+		t.Fatalf("job state %s (%q) after watchers left", fin.State, fin.Error)
+	}
+}
+
+// TestDaemonRestartPersistence is the restart smoke test in-process: a
+// second daemon over the same -store directory serves the duplicate
+// submission from disk (zero plan builds), and /healthz exposes the store
+// census that proves it.
+func TestDaemonRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	body := map[string]any{"system": "dwt97(fig3)", "options": jobOptions("hybrid")}
+
+	openStore := func() *store.Store {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// First daemon lifetime: run the job, write through, shut down.
+	mgr1 := service.New(service.Config{NPSD: 64, Workers: 2, Store: openStore()})
+	ts1 := httptest.NewServer(newMux(mgr1, 1<<20))
+	var first service.JobInfo
+	if code := httpJSON(t, http.MethodPost, ts1.URL+"/v1/jobs", body, &first); code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	fin := pollDone(t, ts1.URL, first.ID)
+	if fin.State != service.JobDone {
+		t.Fatalf("first job: %s %q", fin.State, fin.Error)
+	}
+	st1 := healthStats(t, ts1.URL)
+	if st1.Store == nil || st1.Store.Writes < 2 {
+		t.Fatalf("write-through missing: %+v", st1.Store)
+	}
+	ts1.Close()
+	mgr1.Close()
+
+	// Second daemon lifetime, same directory: the duplicate is a 200 from
+	// the persistent tier, with zero plans built in this process.
+	mgr2 := service.New(service.Config{NPSD: 64, Workers: 2, Store: openStore()})
+	ts2 := httptest.NewServer(newMux(mgr2, 1<<20))
+	t.Cleanup(func() { ts2.Close(); mgr2.Close() })
+	var dup service.JobInfo
+	if code := httpJSON(t, http.MethodPost, ts2.URL+"/v1/jobs", body, &dup); code != http.StatusOK {
+		t.Fatalf("duplicate submit status %d, want 200", code)
+	}
+	if !dup.CacheHit || dup.State != service.JobDone {
+		t.Fatalf("duplicate not served from store: %+v", dup)
+	}
+	if !reflect.DeepEqual(dup.Result, fin.Result) {
+		t.Fatalf("persisted result diverges:\n%+v\nvs\n%+v", dup.Result, fin.Result)
+	}
+	st2 := healthStats(t, ts2.URL)
+	if st2.PlanBuilds != 0 {
+		t.Fatalf("restarted daemon built %d plans", st2.PlanBuilds)
+	}
+	if st2.Store == nil || st2.Store.Hits == 0 {
+		t.Fatalf("store hit not recorded: %+v", st2.Store)
+	}
+}

@@ -129,6 +129,9 @@ type Engine struct {
 	plans atomic.Pointer[planMap] // immutable snapshot; see plan()
 	tick  atomic.Uint64           // global recency clock
 
+	planBuilds   atomic.Int64 // plans built from scratch (propagation + FFT)
+	planRestores atomic.Int64 // plans installed from snapshots (see snapshot.go)
+
 	mu        sync.Mutex // serializes plan builds, eviction, cap/mode changes
 	planCap   int
 	forceFull bool
@@ -268,6 +271,7 @@ func (e *Engine) planMiss(g *sfg.Graph) (*graphPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.planBuilds.Add(1)
 	next := clonePlanMap(cur.m, 1)
 	en := &planEntry{plan: p}
 	en.lastUse.Store(e.tick.Add(1))

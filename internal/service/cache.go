@@ -20,6 +20,12 @@ type lruEntry struct {
 }
 
 func newLRU(cap int) *lruCache {
+	if cap < 1 {
+		// A non-positive capacity would make put's trim loop evict every
+		// entry immediately after insertion — a cache that silently never
+		// holds anything. Clamp to the smallest real cache instead.
+		cap = 1
+	}
 	return &lruCache{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
 }
 

@@ -110,6 +110,11 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// followers are later submissions of the same key coalesced onto this
+	// job (single-flight); guarded by Manager.mu, not j.mu. The manager's
+	// settle resolves them when this job's run attempt ends.
+	followers []*job
+
 	mu        sync.Mutex
 	state     JobState
 	cacheHit  bool

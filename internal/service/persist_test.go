@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func testStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// submitAndWait runs one request to completion and fails the test on any
+// non-done outcome.
+func submitAndWait(t *testing.T, m *Manager, req Request) *JobInfo {
+	t.Helper()
+	info, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitDone(t, m, info.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job %s: %s %q", fin.ID, fin.State, fin.Error)
+	}
+	return fin
+}
+
+// waitRunningStep watches a job until it has made at least one search step.
+func waitRunningStep(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	ch, stop, err := m.Watch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatal("job finished before making a step")
+			}
+			if ev.Type == "progress" && ev.Step >= 1 {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no progress within deadline")
+		}
+	}
+}
+
+// TestLRUCapClamp is the regression test for the non-positive-capacity
+// bug: newLRU(0) (or negative) used to evict every entry immediately after
+// insertion, silently disabling the cache.
+func TestLRUCapClamp(t *testing.T) {
+	for _, cap := range []int{0, -5} {
+		c := newLRU(cap)
+		c.put("k", 42)
+		if v, ok := c.get("k"); !ok || v.(int) != 42 {
+			t.Fatalf("newLRU(%d): entry evicted at insertion (ok=%v)", cap, ok)
+		}
+		if c.len() != 1 {
+			t.Fatalf("newLRU(%d): len = %d, want 1", cap, c.len())
+		}
+		// The clamp keeps LRU semantics: a second key evicts the first.
+		c.put("k2", 43)
+		if _, ok := c.get("k"); ok {
+			t.Fatalf("newLRU(%d): clamped cache held more than one entry", cap)
+		}
+	}
+}
+
+// TestSingleFlightCoalescesDuplicates: a duplicate submitted while its key
+// is in flight attaches to the running job instead of searching again, and
+// is answered with the leader's result.
+func TestSingleFlightCoalescesDuplicates(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, StepThrottle: 20 * time.Millisecond})
+	req := Request{System: "dwt97(fig3)", Options: testOptions("descent")}
+	leader, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunningStep(t, m, leader.ID)
+	follower, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follower.State.Terminal() {
+		t.Fatalf("follower resolved before the leader finished: %+v", follower)
+	}
+	if st := m.Stats(); st.Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", st.Coalesced)
+	}
+	finL := waitDone(t, m, leader.ID)
+	finF := waitDone(t, m, follower.ID)
+	if finL.State != JobDone || finF.State != JobDone {
+		t.Fatalf("states %s/%s, want done/done", finL.State, finF.State)
+	}
+	if !finF.CacheHit {
+		t.Fatal("coalesced follower not marked as served from the leader")
+	}
+	if finF.Result.Power != finL.Result.Power || finF.Result.Cost != finL.Result.Cost {
+		t.Fatalf("follower result diverges from leader: %+v vs %+v", finF.Result, finL.Result)
+	}
+}
+
+// TestSingleFlightPromotesFollowerOnCancel: cancelling the leader must not
+// take its coalesced followers down — the first live follower is promoted
+// and re-runs the search to completion.
+func TestSingleFlightPromotesFollowerOnCancel(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, StepThrottle: 20 * time.Millisecond})
+	req := Request{System: "dwt97(fig3)", Options: testOptions("descent")}
+	leader, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunningStep(t, m, leader.ID)
+	follower, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitDone(t, m, leader.ID); fin.State != JobCancelled {
+		t.Fatalf("leader state %s, want cancelled", fin.State)
+	}
+	fin := waitDone(t, m, follower.ID)
+	if fin.State != JobDone {
+		t.Fatalf("promoted follower state %s (%q), want done", fin.State, fin.Error)
+	}
+	if fin.CacheHit {
+		t.Fatal("promoted follower claims a cache hit but must have searched itself")
+	}
+}
+
+// TestQueuedCancelWithSaturatedPool is the Wait/throttle context audit: with
+// every worker busy, cancelling queued jobs (or abandoning a Wait) must
+// return promptly and must not strand job entries in a non-terminal state.
+func TestQueuedCancelWithSaturatedPool(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, StepThrottle: 20 * time.Millisecond})
+	hog, err := m.Submit(Request{System: "dwt97(fig3)", Options: spec.Options{
+		Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 14, Seed: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunningStep(t, m, hog.ID)
+
+	// Distinct systems so the queued jobs neither cache-hit nor coalesce.
+	queued := []*JobInfo{}
+	for _, sys := range []string{"decimator(M=4)", "interpolator(L=4)", "fir-lp31(tab1)"} {
+		info, err := m.Submit(Request{System: sys, Options: testOptions("descent")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != JobQueued {
+			t.Fatalf("%s: state %s, want queued behind the saturated pool", sys, info.State)
+		}
+		queued = append(queued, info)
+	}
+
+	// A Wait abandoned by its caller returns with the context's error even
+	// though the job never leaves the queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := m.Wait(ctx, queued[0].ID); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait on queued job under dead context: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wait took %v to honor its context", elapsed)
+	}
+
+	// Cancelling queued jobs resolves them immediately; the entries are
+	// terminal, not stranded, and the worker later skips them.
+	for _, q := range queued {
+		info, err := m.Cancel(q.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != JobCancelled {
+			t.Fatalf("%s: state %s immediately after queued cancel", q.ID, info.State)
+		}
+	}
+	if _, err := m.Cancel(hog.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, hog.ID)
+	st := m.Stats()
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("stranded jobs after cancellation sweep: %+v", st)
+	}
+}
+
+// TestWatcherCountReturnsToZero: Stats' watcher census rises with
+// subscriptions and returns to zero after unsubscribe — the in-process
+// half of the SSE disconnect lifecycle.
+func TestWatcherCountReturnsToZero(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, StepThrottle: 20 * time.Millisecond})
+	info, err := m.Submit(Request{System: "dwt97(fig3)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop1, err := m.Watch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop2, err := m.Watch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Watchers != 2 {
+		t.Fatalf("watchers = %d, want 2", st.Watchers)
+	}
+	stop1()
+	stop1() // idempotent
+	if st := m.Stats(); st.Watchers != 1 {
+		t.Fatalf("watchers after one unsubscribe = %d, want 1", st.Watchers)
+	}
+	stop2()
+	if st := m.Stats(); st.Watchers != 0 {
+		t.Fatalf("watchers after full unsubscribe = %d, want 0", st.Watchers)
+	}
+	waitDone(t, m, info.ID)
+	if st := m.Stats(); st.Watchers != 0 {
+		t.Fatalf("watchers after terminal = %d, want 0", st.Watchers)
+	}
+}
+
+// TestPersistenceAcrossRestart is the tentpole's end-to-end property at
+// the service layer: a second manager over the same store directory serves
+// the duplicate submit from disk without queuing, and serves *new* options
+// on the same digest from a restored plan — zero plan builds in the whole
+// restarted process.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{System: "dwt97(fig3)", Options: testOptions("descent")}
+
+	m1 := New(Config{NPSD: 64, Workers: 2, Store: testStore(t, dir)})
+	first := submitAndWait(t, m1, req)
+	if st := m1.Stats(); st.PlanBuilds != 1 || st.PlanRestores != 0 {
+		t.Fatalf("first process: plan builds/restores = %d/%d, want 1/0", st.PlanBuilds, st.PlanRestores)
+	}
+	m1.Close()
+
+	// "Restart": a fresh manager, fresh engine, same directory.
+	m2 := testManager(t, Config{Workers: 2, Store: testStore(t, dir)})
+	dup := submitAndWait(t, m2, req)
+	if !dup.CacheHit {
+		t.Fatal("duplicate submit after restart not served from the persistent store")
+	}
+	if dup.Result.Power != first.Result.Power || dup.Result.Cost != first.Result.Cost ||
+		dup.Budget != first.Budget {
+		t.Fatalf("persisted result diverges: %+v (budget %v) vs %+v (budget %v)",
+			dup.Result, dup.Budget, first.Result, first.Result)
+	}
+
+	// New options on the warm digest: a real search, on a restored plan.
+	req2 := req
+	req2.Options.Seed = 99
+	fin := submitAndWait(t, m2, req2)
+	st := m2.Stats()
+	if st.PlanBuilds != 0 {
+		t.Fatalf("restarted process built %d plans; the store was supposed to prevent all of them", st.PlanBuilds)
+	}
+	if st.PlanRestores != 1 {
+		t.Fatalf("plan restores = %d, want 1", st.PlanRestores)
+	}
+	if st.Store == nil || st.Store.Hits == 0 {
+		t.Fatalf("store stats missing hits: %+v", st.Store)
+	}
+
+	// Bit-identity through the whole stack: the same search on a purely
+	// in-memory manager lands on the identical optimum.
+	m3 := testManager(t, Config{Workers: 2})
+	ref := submitAndWait(t, m3, req2)
+	if fin.Result.Power != ref.Result.Power || fin.Result.Cost != ref.Result.Cost {
+		t.Fatalf("restored-plan search diverges from fresh-plan search: %+v vs %+v", fin.Result, ref.Result)
+	}
+	if len(fin.Result.Fracs) != len(ref.Result.Fracs) {
+		t.Fatalf("frac maps differ: %v vs %v", fin.Result.Fracs, ref.Result.Fracs)
+	}
+	for k, v := range ref.Result.Fracs {
+		if fin.Result.Fracs[k] != v {
+			t.Fatalf("source %s: frac %d vs %d", k, fin.Result.Fracs[k], v)
+		}
+	}
+}
+
+// TestCorruptStoreEntriesAreRebuilt: mangling every on-disk entry between
+// restarts must not crash the daemon or serve bad data — the corrupt
+// entries are detected, dropped, and rewritten by the next job.
+func TestCorruptStoreEntriesAreRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	req := Request{System: "decimator(M=4)", Options: testOptions("descent")}
+
+	m1 := New(Config{NPSD: 64, Workers: 2, Store: testStore(t, dir)})
+	first := submitAndWait(t, m1, req)
+	m1.Close()
+
+	// Truncate every entry in place.
+	mangled := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".wls") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		mangled++
+		return os.WriteFile(path, data[:len(data)/2], 0o644)
+	})
+	if err != nil || mangled == 0 {
+		t.Fatalf("mangled %d entries, err %v", mangled, err)
+	}
+
+	m2 := testManager(t, Config{Workers: 2, Store: testStore(t, dir)})
+	redo := submitAndWait(t, m2, req)
+	if redo.CacheHit {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if redo.Result.Power != first.Result.Power {
+		t.Fatalf("rebuilt result diverges: %+v vs %+v", redo.Result, first.Result)
+	}
+	st := m2.Stats()
+	if st.Store == nil || st.Store.Corrupt == 0 {
+		t.Fatalf("corruption not recorded: %+v", st.Store)
+	}
+	m2.Close()
+
+	// Third process: the write-through repaired the store.
+	m3 := testManager(t, Config{Workers: 2, Store: testStore(t, dir)})
+	again := submitAndWait(t, m3, req)
+	if !again.CacheHit {
+		t.Fatal("store not repaired by write-through")
+	}
+	if st := m3.Stats(); st.PlanBuilds != 0 {
+		t.Fatalf("repaired store still caused %d plan builds", st.PlanBuilds)
+	}
+}

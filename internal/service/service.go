@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sfg"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/systems"
 	"repro/internal/wlopt"
 )
@@ -52,6 +53,12 @@ type Config struct {
 	// production; tests use it to make in-flight cancellation windows
 	// deterministic, demos to make progress streams watchable.
 	StepThrottle time.Duration
+	// Store, when non-nil, persists warm state across restarts: plan
+	// snapshots keyed by (digest, NPSD) and results keyed by
+	// (digest, options fingerprint) survive the process. Reads fall back
+	// transparently on miss or corruption; writes are write-through after
+	// each completed job. nil keeps the manager fully in-memory.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -109,12 +116,27 @@ type Stats struct {
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
 	Cancelled int   `json:"cancelled"`
-	// CacheHits counts submissions answered from the result cache.
+	// CacheHits counts submissions answered from the result cache — the
+	// in-memory LRU or the persistent store.
 	CacheHits int64 `json:"cache_hits"`
+	// Coalesced counts submissions attached as followers to an identical
+	// in-flight job (single-flight) instead of being queued redundantly.
+	Coalesced int64 `json:"coalesced"`
+	// Watchers is the live event-subscriber count across retained jobs;
+	// abandoned watch streams would show up here as a monotonic climb.
+	Watchers int `json:"watchers"`
 	// ResultCacheLen is the current result-cache population.
 	ResultCacheLen int `json:"result_cache_len"`
 	// GraphCacheLen is the current graph-cache population.
 	GraphCacheLen int `json:"graph_cache_len"`
+	// PlanBuilds counts engine plans built from scratch (graph propagation
+	// + FFT response sampling); PlanRestores counts plans installed from
+	// persisted snapshots instead. A restarted daemon serving warm digests
+	// should grow PlanRestores while PlanBuilds stays at zero.
+	PlanBuilds   int64 `json:"plan_builds"`
+	PlanRestores int64 `json:"plan_restores"`
+	// Store is the persistent store census; nil when running in-memory.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // SystemInfo describes one registry system on GET /v1/systems.
@@ -141,6 +163,9 @@ type cachedResult struct {
 type graphEntry struct {
 	mu sync.Mutex
 	g  *sfg.Graph
+	// persisted marks the digest's plan snapshot as already on disk
+	// (written by us, or restored from a previous process); guarded by mu.
+	persisted bool
 }
 
 // Manager is the service core. Create with New, dispose with Close.
@@ -160,8 +185,10 @@ type Manager struct {
 	seq       int64
 	submitted int64
 	cacheHits int64
-	results   *lruCache // key -> *cachedResult
-	graphs    *lruCache // digest -> *graphEntry
+	coalesced int64
+	results   *lruCache       // key -> *cachedResult
+	graphs    *lruCache       // digest -> *graphEntry
+	inflight  map[string]*job // key -> leader job (queued or running)
 	regSpecs  map[string]regEntry
 
 	sysOnce sync.Once
@@ -182,6 +209,7 @@ func New(cfg Config) *Manager {
 		jobs:       make(map[string]*job),
 		results:    newLRU(cfg.ResultCacheSize),
 		graphs:     newLRU(cfg.GraphCacheSize),
+		inflight:   make(map[string]*job),
 		regSpecs:   make(map[string]regEntry),
 	}
 	// Keep one engine plan per cached graph: the plan cache is the point
@@ -213,8 +241,10 @@ func (m *Manager) Close() {
 }
 
 // Submit validates, resolves and enqueues one job. A submission whose
-// (digest, options) key is in the result cache returns an already-done job
-// without touching the queue.
+// (digest, options) key is in the result cache — the in-memory LRU, or the
+// persistent store when configured — returns an already-done job without
+// touching the queue; one whose key is already in flight coalesces onto
+// the running job (single-flight) instead of duplicating the search.
 func (m *Manager) Submit(req Request) (*JobInfo, error) {
 	sysName, sp, opts, digest, err := m.resolve(req)
 	if err != nil {
@@ -248,27 +278,72 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 	j.publishLocked(Event{Type: "state", State: JobQueued})
 	j.mu.Unlock()
 	if hit, ok := m.results.get(key); ok {
-		cr := hit.(*cachedResult)
-		m.cacheHits++
-		j.cacheHit = true
-		j.budget = cr.budget
-		m.registerLocked(j)
+		return m.serveHitLocked(j, hit.(*cachedResult)), nil
+	}
+	if leader, ok := m.inflight[key]; ok {
+		return m.joinLocked(j, leader), nil
+	}
+	if m.cfg.Store != nil {
+		// Probe the persistent store with the lock dropped — it's file IO —
+		// then re-check the in-memory tiers, which may have been filled (or
+		// claimed by a new leader) while we were on disk.
 		m.mu.Unlock()
-		j.finish(cr.res, nil)
-		return j.snapshot(), nil
+		cr := m.storeGetResult(key)
+		m.mu.Lock()
+		if m.closed {
+			m.submitted--
+			m.mu.Unlock()
+			j.cancel()
+			return nil, ErrClosed
+		}
+		if hit, ok := m.results.get(key); ok {
+			return m.serveHitLocked(j, hit.(*cachedResult)), nil
+		}
+		if leader, ok := m.inflight[key]; ok {
+			return m.joinLocked(j, leader), nil
+		}
+		if cr != nil {
+			m.results.put(key, cr)
+			return m.serveHitLocked(j, cr), nil
+		}
 	}
 	select {
 	case m.queue <- j:
 	default:
-		m.seq-- // job was never registered
+		// Rejected: the ID is burned (never registered; gaps are fine) and
+		// the submission doesn't count.
 		m.submitted--
 		m.mu.Unlock()
 		j.cancel() // release the context registration
 		return nil, ErrQueueFull
 	}
+	m.inflight[key] = j
 	m.registerLocked(j)
 	m.mu.Unlock()
 	return j.snapshot(), nil
+}
+
+// serveHitLocked answers j straight from a cached result. Called with m.mu
+// held; returns with it released.
+func (m *Manager) serveHitLocked(j *job, cr *cachedResult) *JobInfo {
+	m.cacheHits++
+	j.cacheHit = true
+	j.budget = cr.budget
+	m.registerLocked(j)
+	m.mu.Unlock()
+	j.finish(cr.res, nil)
+	return j.snapshot()
+}
+
+// joinLocked attaches j as a follower of the in-flight leader computing
+// the same key; the leader's settle resolves it. Called with m.mu held;
+// returns with it released.
+func (m *Manager) joinLocked(j, leader *job) *JobInfo {
+	m.coalesced++
+	leader.followers = append(leader.followers, j)
+	m.registerLocked(j)
+	m.mu.Unlock()
+	return j.snapshot()
 }
 
 // registerLocked adds the job to the index and evicts old terminal jobs
@@ -378,6 +453,10 @@ func (m *Manager) worker() {
 
 // run executes one job on the calling worker goroutine.
 func (m *Manager) run(j *job) {
+	// Settle runs whatever happens to the leader — success, failure,
+	// cancellation before begin — so coalesced followers are never
+	// stranded.
+	defer m.settle(j)
 	if !j.begin() {
 		return
 	}
@@ -423,8 +502,143 @@ func (m *Manager) run(j *job) {
 		m.mu.Lock()
 		m.results.put(j.key, &cachedResult{res: res, budget: budget})
 		m.mu.Unlock()
+		// Write-through: the persistent tiers are repaired/filled on every
+		// completed job. entry.mu is still held, so the persisted flag and
+		// the engine plan for g are stable.
+		m.storePutResult(j.key, res, budget)
+		m.persistPlan(j.digest, entry)
 	}
 	j.finish(res, err)
+}
+
+// settle resolves a leader's followers once its run attempt is over. A
+// successful leader's result answers every follower directly; a failed or
+// cancelled leader promotes its first live follower to leader, which
+// re-enters the queue carrying the rest — so a cancelled leader never
+// silently takes its whole cohort down with it.
+func (m *Manager) settle(j *job) {
+	m.mu.Lock()
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+	followers := j.followers
+	j.followers = nil
+	if len(followers) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	j.mu.Lock()
+	res, err, budget := j.res, j.err, j.budget
+	done := j.state == JobDone
+	j.mu.Unlock()
+
+	if done && err == nil && res != nil && !res.Cancelled {
+		cr := &cachedResult{res: res, budget: budget}
+		m.mu.Unlock()
+		for _, f := range followers {
+			f.mu.Lock()
+			terminal := f.state.Terminal()
+			if !terminal {
+				f.cacheHit = true
+				f.budget = cr.budget
+			}
+			f.mu.Unlock()
+			if !terminal {
+				f.finish(cr.res, nil)
+			}
+		}
+		return
+	}
+
+	// Leader didn't produce a servable result: promote the first follower
+	// whose context is still live, hand it the remaining cohort, and
+	// re-dispatch it.
+	var promote *job
+	var rest, dead, shed []*job
+	for _, f := range followers {
+		if f.ctx.Err() != nil {
+			dead = append(dead, f)
+		} else if promote == nil {
+			promote = f
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	if promote != nil {
+		if m.closed {
+			dead = append(dead, promote)
+			dead = append(dead, rest...)
+			promote = nil
+		} else {
+			promote.followers = append(promote.followers, rest...)
+			select {
+			case m.queue <- promote:
+				m.inflight[promote.key] = promote
+			default:
+				// No queue room for the retry: shed the cohort explicitly
+				// rather than stranding it.
+				shed = append(shed, promote)
+				shed = append(shed, rest...)
+				promote = nil
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, f := range dead {
+		f.cancelNow()
+	}
+	for _, f := range shed {
+		f.finish(nil, ErrQueueFull)
+	}
+}
+
+// storeGetResult probes the persistent store for a result-cache entry.
+// nil means miss (including corrupt entries, which the store has already
+// disposed of).
+func (m *Manager) storeGetResult(key string) *cachedResult {
+	if m.cfg.Store == nil {
+		return nil
+	}
+	var sr storedResult
+	if !m.cfg.Store.Get(store.KindResult, key, &sr) || sr.Res == nil {
+		return nil
+	}
+	return &cachedResult{res: sr.Res, budget: sr.Budget}
+}
+
+// storePutResult write-throughs one completed result. Persistence is best
+// effort: a failed write leaves the in-memory cache authoritative.
+func (m *Manager) storePutResult(key string, res *wlopt.Result, budget float64) {
+	if m.cfg.Store == nil {
+		return
+	}
+	_ = m.cfg.Store.Put(store.KindResult, key, &storedResult{Res: res, Budget: budget})
+}
+
+// persistPlan snapshots the digest's warm engine plan to the store, once
+// per graphEntry lifetime. The caller must hold entry.mu.
+func (m *Manager) persistPlan(digest string, entry *graphEntry) {
+	if m.cfg.Store == nil || entry.persisted {
+		return
+	}
+	snap, err := m.eng.SnapshotPlan(entry.g)
+	if err != nil {
+		if errors.Is(err, core.ErrPlanNotCached) {
+			// Full-propagation plans have no width-independent warm state;
+			// nothing will ever be snapshottable for this entry.
+			entry.persisted = true
+		}
+		return
+	}
+	if m.cfg.Store.Put(store.KindPlan, store.PlanKey(digest, m.cfg.NPSD), snap) == nil {
+		entry.persisted = true
+	}
+}
+
+// storedResult is the persisted (gob) form of one result-cache entry.
+type storedResult struct {
+	Res    *wlopt.Result
+	Budget float64
 }
 
 // throttle sleeps Config.StepThrottle, cut short by cancellation.
@@ -456,6 +670,21 @@ func (m *Manager) graphFor(j *job) (*graphEntry, error) {
 		return nil, err
 	}
 	e := &graphEntry{g: g}
+	if m.cfg.Store != nil {
+		// Warm the engine from a persisted plan snapshot: a hit skips the
+		// whole plan build (propagation + FFT response sampling). A
+		// snapshot that fails shape validation is as good as corrupt —
+		// drop it; the write-through after the first job rebuilds it.
+		key := store.PlanKey(j.digest, m.cfg.NPSD)
+		var snap core.PlanSnapshot
+		if m.cfg.Store.Get(store.KindPlan, key, &snap) {
+			if err := m.eng.RestorePlan(g, &snap); err != nil {
+				m.cfg.Store.Delete(store.KindPlan, key)
+			} else {
+				e.persisted = true
+			}
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if prev, ok := m.graphs.get(j.digest); ok {
@@ -555,12 +784,20 @@ func (m *Manager) Stats() Stats {
 	st := Stats{
 		Submitted:      m.submitted,
 		CacheHits:      m.cacheHits,
+		Coalesced:      m.coalesced,
 		ResultCacheLen: m.results.len(),
 		GraphCacheLen:  m.graphs.len(),
+		PlanBuilds:     m.eng.PlanBuilds(),
+		PlanRestores:   m.eng.PlanRestores(),
+	}
+	if m.cfg.Store != nil {
+		ss := m.cfg.Store.Stats()
+		st.Store = &ss
 	}
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		s := j.state
+		st.Watchers += len(j.subs)
 		j.mu.Unlock()
 		switch s {
 		case JobQueued:

@@ -1,0 +1,121 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The options fingerprint is the second half of the persistent result
+// store's key. These properties guard it against the two failure modes a
+// serialized key can drift into: silent collisions (two requests that
+// should differ but hash equally — the store would serve one job's result
+// for another's) and silent splits (one request hashing differently across
+// equivalent spellings — the store would never hit).
+
+func baseOptions() Options {
+	return Options{
+		Strategy:     "hybrid",
+		BudgetWidth:  8,
+		MinFrac:      4,
+		MaxFrac:      12,
+		CostPerBit:   map[string]float64{"a.q": 1, "b.q": 2.5},
+		Seed:         7,
+		AnnealRounds: 3,
+	}
+}
+
+// TestFingerprintFieldOrderInvariance: the fingerprint depends on the
+// options' values, not on how the literal was spelled — struct field order
+// in source, JSON key order on the wire, and map iteration order must all
+// wash out.
+func TestFingerprintFieldOrderInvariance(t *testing.T) {
+	want := baseOptions().Fingerprint()
+
+	// Same values, different struct-literal field order.
+	reordered := Options{
+		AnnealRounds: 3,
+		Seed:         7,
+		CostPerBit:   map[string]float64{"b.q": 2.5, "a.q": 1},
+		MaxFrac:      12,
+		MinFrac:      4,
+		BudgetWidth:  8,
+		Strategy:     "hybrid",
+	}
+	if got := reordered.Fingerprint(); got != want {
+		t.Fatalf("literal field order changed the fingerprint: %s vs %s", got, want)
+	}
+
+	// Same values arriving as JSON with scrambled key order.
+	for _, doc := range []string{
+		`{"strategy":"hybrid","budget_width":8,"min_frac":4,"max_frac":12,"cost_per_bit":{"a.q":1,"b.q":2.5},"seed":7,"anneal_rounds":3}`,
+		`{"anneal_rounds":3,"cost_per_bit":{"b.q":2.5,"a.q":1},"seed":7,"strategy":"hybrid","max_frac":12,"budget_width":8,"min_frac":4}`,
+	} {
+		var o Options
+		if err := json.Unmarshal([]byte(doc), &o); err != nil {
+			t.Fatal(err)
+		}
+		if got := o.Fingerprint(); got != want {
+			t.Fatalf("wire key order changed the fingerprint:\n%s\n%s vs %s", doc, got, want)
+		}
+	}
+
+	// Repeated computation is stable (no hidden nondeterminism).
+	for i := 0; i < 16; i++ {
+		if got := baseOptions().Fingerprint(); got != want {
+			t.Fatalf("fingerprint unstable across calls: %s vs %s", got, want)
+		}
+	}
+}
+
+// TestFingerprintDefaultEquivalence: explicitly spelling the defaults must
+// hash like leaving them unset — otherwise a client that writes
+// "strategy":"descent" would miss the cache filled by one that wrote
+// nothing.
+func TestFingerprintDefaultEquivalence(t *testing.T) {
+	implicit := Options{BudgetWidth: 8}
+	explicit := Options{Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 16}
+	if implicit.Fingerprint() != explicit.Fingerprint() {
+		t.Fatalf("defaulted and explicit spellings split the key:\n%s\n%s",
+			implicit.Fingerprint(), explicit.Fingerprint())
+	}
+}
+
+// TestFingerprintDistinguishesEveryResultAffectingField: each field that
+// changes what the optimizer computes must change the fingerprint.
+func TestFingerprintDistinguishesEveryResultAffectingField(t *testing.T) {
+	base := baseOptions()
+	variants := map[string]Options{}
+	add := func(name string, mutate func(*Options)) {
+		o := baseOptions()
+		mutate(&o)
+		variants[name] = o
+	}
+	add("strategy", func(o *Options) { o.Strategy = "anneal" })
+	add("budget", func(o *Options) { o.BudgetWidth = 0; o.Budget = 1e-6 })
+	add("budget_width", func(o *Options) { o.BudgetWidth = 9 })
+	add("min_frac", func(o *Options) { o.MinFrac = 5 })
+	add("max_frac", func(o *Options) { o.MaxFrac = 14 })
+	add("cost_per_bit value", func(o *Options) { o.CostPerBit = map[string]float64{"a.q": 1, "b.q": 3} })
+	add("cost_per_bit key", func(o *Options) { o.CostPerBit = map[string]float64{"a.q": 1, "c.q": 2.5} })
+	add("cost_per_bit absent", func(o *Options) { o.CostPerBit = nil })
+	add("seed", func(o *Options) { o.Seed = 8 })
+	add("anneal_rounds", func(o *Options) { o.AnnealRounds = 4 })
+
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, o := range variants {
+		fp := o.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, fp)
+			continue
+		}
+		seen[fp] = name
+	}
+
+	// Shape sanity: same scheme as the spec digest.
+	for fp := range seen {
+		if !strings.HasPrefix(fp, "sha256:") || len(fp) != len("sha256:")+64 {
+			t.Fatalf("malformed fingerprint %q", fp)
+		}
+	}
+}

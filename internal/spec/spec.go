@@ -41,7 +41,11 @@ import (
 	"repro/internal/fixed"
 )
 
-// Version is the format version Parse accepts and Marshal emits.
+// Version is the format version Parse accepts and Marshal emits. It is
+// also baked into Digest's canonical form and into the persistent warm
+// store's envelope schema (internal/store): bumping it invalidates every
+// content address derived under the old format, so persisted plans and
+// results from a previous schema are rebuilt rather than reinterpreted.
 const Version = 1
 
 // Spec is one system description.

@@ -1,0 +1,291 @@
+// Package store is the content-addressed on-disk warm store: it persists
+// the daemon's expensive-to-rebuild warm state — per-digest plan snapshots
+// (transfer profiles + σ²-tables, see core.PlanSnapshot) and the
+// (digest, options-fingerprint)-keyed result cache — across process
+// restarts. The spec digest is already an order-invariant,
+// coefficient-resolved content hash of the optimization problem, so the
+// store is a pure serialization layer over cache identities that exist in
+// memory anyway.
+//
+// Durability model:
+//
+//   - Writes are atomic: encode to a temp file in the target directory,
+//     then rename over the final path. A crash mid-write leaves at worst a
+//     stray .tmp file (swept on Open), never a half-written entry.
+//   - Every entry is wrapped in a versioned envelope: magic, sha256
+//     checksum over the payload, then the payload itself carrying a schema
+//     tag and the full key. Reads verify all three; any mismatch — torn
+//     write, bit rot, truncation, hash-prefix collision, format change —
+//     counts as corruption, removes the file, and reports a miss. The
+//     caller rebuilds and write-through repairs the entry. The store never
+//     crashes on bad data and never serves it.
+//   - The schema tag embeds both the store format version and the spec
+//     schema version (spec.Version): bumping either invalidates old
+//     entries wholesale, because keys are digests of spec content and a
+//     spec-schema change may change what a digest means.
+//
+// Layout: <dir>/<kind>/<sha256(kind,key)>.wls — one file per entry,
+// sharded by kind ("plan", "result"). Filenames are a second content hash
+// of the full key, which keeps arbitrary key strings filesystem-safe; the
+// real key is stored inside the envelope and verified on read.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/spec"
+)
+
+// KindPlan and KindResult are the entry kinds the daemon uses. The store
+// itself is kind-agnostic; kinds shard the directory layout and the key
+// space.
+const (
+	KindPlan   = "plan"
+	KindResult = "result"
+)
+
+// formatVersion is the on-disk envelope format version. Bump on any
+// incompatible envelope or payload change.
+const formatVersion = 1
+
+var magic = [8]byte{'W', 'L', 'S', 'T', 'O', 'R', 'E', '1'}
+
+// Store is a content-addressed on-disk store. All methods are safe for
+// concurrent use; concurrent writers of the same key last-write-win an
+// identical value (keys are content addresses, so racing writes carry
+// equal payloads).
+type Store struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	writes  atomic.Int64
+	corrupt atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of store counters, served by the
+// daemon's /healthz.
+type Stats struct {
+	Dir     string `json:"dir"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Writes  int64  `json:"writes"`
+	Corrupt int64  `json:"corrupt"`
+}
+
+// Open opens (creating if needed) the store rooted at dir and sweeps any
+// temp files left by a crashed writer.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	for _, kind := range []string{KindPlan, KindResult} {
+		if err := os.MkdirAll(filepath.Join(dir, kind), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+	}
+	s := &Store{dir: dir}
+	s.sweepTemp()
+	return s, nil
+}
+
+// SetLogf installs a logger for corruption reports. nil silences them.
+func (s *Store) SetLogf(logf func(format string, args ...any)) { s.logf = logf }
+
+func (s *Store) logfOrNop(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// sweepTemp removes stray temp files from interrupted writes.
+func (s *Store) sweepTemp() {
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+			os.Remove(path)
+		}
+		return nil
+	})
+}
+
+// schema tags the payload format: store format version plus the spec
+// schema version the keys were derived under.
+func schema(kind string) string {
+	return fmt.Sprintf("wlopt/%s/store-v%d/spec-v%d", kind, formatVersion, spec.Version)
+}
+
+// path maps (kind, key) to the entry's file. The filename is a content
+// hash of the full key, so arbitrary key strings (digests contain ':',
+// fingerprints ride after '|') stay filesystem-safe.
+func (s *Store) path(kind, key string) string {
+	h := sha256.Sum256([]byte(kind + "\x00" + key))
+	return filepath.Join(s.dir, kind, fmt.Sprintf("%x.wls", h))
+}
+
+type envelope struct {
+	Schema string
+	Key    string
+	Data   []byte
+}
+
+// Put serializes v (with encoding/gob) under (kind, key), atomically.
+func (s *Store) Put(kind, key string, v any) error {
+	var data bytes.Buffer
+	if err := gob.NewEncoder(&data).Encode(v); err != nil {
+		return fmt.Errorf("store: encode %s %q: %v", kind, key, err)
+	}
+	var payload bytes.Buffer
+	env := envelope{Schema: schema(kind), Key: key, Data: data.Bytes()}
+	if err := gob.NewEncoder(&payload).Encode(&env); err != nil {
+		return fmt.Errorf("store: encode envelope: %v", err)
+	}
+
+	final := s.path(kind, key)
+	tmp, err := os.CreateTemp(filepath.Dir(final), ".put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+
+	sum := sha256.Sum256(payload.Bytes())
+	var hdr [8 + 32 + 8]byte
+	copy(hdr[:8], magic[:])
+	copy(hdr[8:40], sum[:])
+	binary.BigEndian.PutUint64(hdr[40:48], uint64(payload.Len()))
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(payload.Bytes())
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %v", final, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %v", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("store: install %s: %v", final, err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Get loads the entry under (kind, key) into v (a non-nil pointer) and
+// reports whether it was found intact. A missing entry is a plain miss. A
+// present-but-bad entry — wrong magic, checksum mismatch, truncation,
+// schema or key mismatch, undecodable payload — is counted as corruption,
+// logged, removed from disk, and reported as a miss: the caller rebuilds
+// from scratch and the next Put repairs the store.
+func (s *Store) Get(kind, key string, v any) bool {
+	path := s.path(kind, key)
+	f, err := os.Open(path)
+	if err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	defer f.Close()
+
+	if err := s.decode(f, kind, key, v); err != nil {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		s.logfOrNop("store: corrupt %s entry for %s (%v); removed, will rebuild", kind, key, err)
+		os.Remove(path)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+func (s *Store) decode(f *os.File, kind, key string, v any) error {
+	var hdr [8 + 32 + 8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return fmt.Errorf("short header: %v", err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return errors.New("bad magic")
+	}
+	n := binary.BigEndian.Uint64(hdr[40:48])
+	const maxEntry = 1 << 30
+	if n > maxEntry {
+		return fmt.Errorf("payload length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return fmt.Errorf("truncated payload: %v", err)
+	}
+	if extra, _ := f.Read(make([]byte, 1)); extra != 0 {
+		return errors.New("trailing bytes after payload")
+	}
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], hdr[8:40]) {
+		return errors.New("checksum mismatch")
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return fmt.Errorf("envelope decode: %v", err)
+	}
+	if env.Schema != schema(kind) {
+		return fmt.Errorf("schema %q, want %q", env.Schema, schema(kind))
+	}
+	if env.Key != key {
+		return fmt.Errorf("key %q does not match requested %q", env.Key, key)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(env.Data)).Decode(v); err != nil {
+		return fmt.Errorf("payload decode: %v", err)
+	}
+	return nil
+}
+
+// Delete removes the entry under (kind, key), if present.
+func (s *Store) Delete(kind, key string) {
+	os.Remove(s.path(kind, key))
+}
+
+// PlanKey is the store key for a plan snapshot: the warm state is a pure
+// function of the spec digest and the PSD grid size.
+func PlanKey(digest string, npsd int) string {
+	return fmt.Sprintf("%s|npsd=%d", digest, npsd)
+}
+
+// ResultKey is the store key for an optimization result: the same
+// (digest, options-fingerprint) pair the in-memory result cache uses.
+func ResultKey(digest, fingerprint string) string {
+	return digest + "|" + fingerprint
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Dir:     s.dir,
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Writes:  s.writes.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// Len reports the number of entries currently on disk for kind. It walks
+// the directory; intended for tests and diagnostics, not hot paths.
+func (s *Store) Len(kind string) int {
+	entries, err := os.ReadDir(filepath.Join(s.dir, kind))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wls") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,262 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wlopt"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func samplePlan() *core.PlanSnapshot {
+	return &core.PlanSnapshot{
+		NPSD: 256,
+		Sources: []core.SourcePlanState{
+			{
+				Name:     "fir16.q",
+				Bins:     []float64{1.5, 2.25, 0.0078125, 3.141592653589793},
+				MeanGain: 0.7071067811865476,
+				Sigma:    []core.SigmaCell{{Variance: 0.25, Mean: -0.125}, {Variance: 0.0625, Mean: 0}},
+			},
+		},
+	}
+}
+
+func sampleResult() *wlopt.Result {
+	return &wlopt.Result{
+		Strategy:    "hybrid",
+		Fracs:       map[string]int{"a.q": 7, "b.q": 12},
+		Power:       1.25e-6,
+		Cost:        19,
+		Evaluations: 412,
+		UniformFrac: 10,
+		UniformCost: 30,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := testStore(t)
+	planKey := PlanKey("sha256:"+strings.Repeat("ab", 32), 256)
+	resKey := ResultKey("sha256:"+strings.Repeat("ab", 32), "sha256:"+strings.Repeat("cd", 32))
+
+	if got := new(core.PlanSnapshot); s.Get(KindPlan, planKey, got) {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(KindPlan, planKey, samplePlan()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindResult, resKey, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotPlan core.PlanSnapshot
+	if !s.Get(KindPlan, planKey, &gotPlan) {
+		t.Fatal("plan entry missing after put")
+	}
+	want := samplePlan()
+	if gotPlan.NPSD != want.NPSD || len(gotPlan.Sources) != 1 {
+		t.Fatalf("plan shape mismatch: %+v", gotPlan)
+	}
+	src, wsrc := gotPlan.Sources[0], want.Sources[0]
+	if src.Name != wsrc.Name || src.MeanGain != wsrc.MeanGain {
+		t.Fatalf("source mismatch: %+v vs %+v", src, wsrc)
+	}
+	for i := range wsrc.Bins {
+		if src.Bins[i] != wsrc.Bins[i] {
+			t.Fatalf("bin %d: %v vs %v (bit-exactness lost in serialization)", i, src.Bins[i], wsrc.Bins[i])
+		}
+	}
+	for i := range wsrc.Sigma {
+		if src.Sigma[i] != wsrc.Sigma[i] {
+			t.Fatalf("sigma cell %d: %+v vs %+v", i, src.Sigma[i], wsrc.Sigma[i])
+		}
+	}
+
+	var gotRes wlopt.Result
+	if !s.Get(KindResult, resKey, &gotRes) {
+		t.Fatal("result entry missing after put")
+	}
+	wantRes := sampleResult()
+	if gotRes.Power != wantRes.Power || gotRes.Cost != wantRes.Cost ||
+		gotRes.Fracs["a.q"] != 7 || gotRes.Fracs["b.q"] != 12 {
+		t.Fatalf("result mismatch: %+v", gotRes)
+	}
+
+	st := s.Stats()
+	if st.Writes != 2 || st.Hits != 2 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want writes=2 hits=2 misses=1 corrupt=0", st)
+	}
+	if s.Len(KindPlan) != 1 || s.Len(KindResult) != 1 {
+		t.Fatalf("len = %d/%d, want 1/1", s.Len(KindPlan), s.Len(KindResult))
+	}
+
+	// A second Open over the same dir sees the same entries (persistence).
+	s2, err := Open(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Get(KindPlan, planKey, new(core.PlanSnapshot)) {
+		t.Fatal("plan entry lost across reopen")
+	}
+}
+
+// entryFile locates the single on-disk file for a kind, for tampering.
+func entryFile(t *testing.T, s *Store, kind string) string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(s.dir, kind))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one %s entry, got %d (%v)", kind, len(entries), err)
+	}
+	return filepath.Join(s.dir, kind, entries[0].Name())
+}
+
+func TestStoreDetectsCorruption(t *testing.T) {
+	key := PlanKey("sha256:"+strings.Repeat("00", 32), 128)
+	corruptions := []struct {
+		name   string
+		mangle func(data []byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }},
+		{"flipped checksum byte", func(b []byte) []byte { b[9] ^= 0x01; return b }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"truncated header", func(b []byte) []byte { return b[:20] }},
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }},
+		{"oversized length field", func(b []byte) []byte { b[40] = 0xFF; return b }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testStore(t)
+			var logged []string
+			s.SetLogf(func(format string, args ...any) {
+				logged = append(logged, fmt.Sprintf(format, args...))
+			})
+			if err := s.Put(KindPlan, key, samplePlan()); err != nil {
+				t.Fatal(err)
+			}
+			path := entryFile(t, s, KindPlan)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if s.Get(KindPlan, key, new(core.PlanSnapshot)) {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("corrupt count = %d, want 1", st.Corrupt)
+			}
+			if len(logged) != 1 {
+				t.Fatalf("corruption not logged: %v", logged)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry not removed from disk")
+			}
+			// Rebuild repairs: a fresh put serves again.
+			if err := s.Put(KindPlan, key, samplePlan()); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Get(KindPlan, key, new(core.PlanSnapshot)) {
+				t.Fatal("rebuilt entry not served")
+			}
+		})
+	}
+}
+
+// TestStoreKeyAndSchemaMismatch: an entry whose internal key differs from
+// the requested one (filename-hash collision, or a moved file) must not be
+// served, and neither must entries written under a different schema
+// version.
+func TestStoreKeyAndSchemaMismatch(t *testing.T) {
+	s := testStore(t)
+	keyA := PlanKey("sha256:"+strings.Repeat("aa", 32), 128)
+	keyB := PlanKey("sha256:"+strings.Repeat("bb", 32), 128)
+	if err := s.Put(KindPlan, keyA, samplePlan()); err != nil {
+		t.Fatal(err)
+	}
+	// Move A's file to where B's would live: the envelope key check must
+	// refuse to serve A's payload for B.
+	if err := os.Rename(s.path(KindPlan, keyA), s.path(KindPlan, keyB)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(KindPlan, keyB, new(core.PlanSnapshot)) {
+		t.Fatal("entry with mismatched internal key was served")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt count = %d, want 1", st.Corrupt)
+	}
+
+	// A result-kind envelope at a plan-kind path fails the schema check.
+	if err := s.Put(KindResult, keyA, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path(KindResult, keyA), s.path(KindPlan, keyA)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(KindPlan, keyA, new(core.PlanSnapshot)) {
+		t.Fatal("entry with mismatched schema was served")
+	}
+}
+
+func TestStoreSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, KindPlan, ".put-123.tmp")
+	if err := os.WriteFile(stray, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived reopen")
+	}
+	_ = s
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := testStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := PlanKey(fmt.Sprintf("sha256:%064d", i%4), 64)
+			for j := 0; j < 20; j++ {
+				if err := s.Put(KindPlan, key, samplePlan()); err != nil {
+					t.Error(err)
+					return
+				}
+				var got core.PlanSnapshot
+				if s.Get(KindPlan, key, &got) && got.NPSD != 256 {
+					t.Errorf("torn read: %+v", got)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("concurrent access produced %d corrupt reads", st.Corrupt)
+	}
+}
