@@ -1,0 +1,286 @@
+// Command loadgen drives a wlopt serving tier — a single wloptd or a
+// wloptr-fronted cluster — with synthetic optimization jobs, and reports
+// throughput, latency percentiles, and per-code error counts. It exists
+// to answer the scaling question the sharded tier was built for: does a
+// second backend actually buy ~2x cold-cache throughput?
+//
+// Usage:
+//
+//	loadgen -target http://127.0.0.1:8090 -mode closed -c 8 -n 200
+//	loadgen -target http://127.0.0.1:8090 -mode open -rate 50 -n 500 -json
+//
+// The generator fabricates small feedforward comb systems whose gain
+// coefficient varies per index, so -distinct controls the number of
+// distinct spec digests in play: -distinct 1 measures a fully warm cache
+// (every job after the first is a hit), -distinct ≥ -n measures fully
+// cold plan-building throughput, and values between measure mixes. The
+// -salt flag shifts the whole gain family so repeated benchmark runs
+// against a long-lived cluster stay cold. Job indices cycle through the
+// digest family deterministically — two runs with the same flags submit
+// the same job set.
+//
+// Closed-loop mode (-mode closed) keeps -c workers saturated: each
+// submits a job, waits for the terminal event over the SSE watch stream,
+// and immediately submits the next. Open-loop mode (-mode open) submits
+// at a fixed arrival rate (-rate jobs/s) regardless of completion times,
+// the shape that exposes queueing collapse: when the tier can't keep up,
+// latency percentiles grow and queue_full rejections appear in the error
+// table instead of being hidden by back-pressure on the generator itself.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8090", "router or backend base URL")
+		mode     = flag.String("mode", "closed", "closed (saturating workers) or open (fixed arrival rate)")
+		n        = flag.Int("n", 100, "total jobs to submit")
+		c        = flag.Int("c", 4, "closed-loop worker count")
+		rate     = flag.Float64("rate", 20, "open-loop arrival rate, jobs/s")
+		distinct = flag.Int("distinct", 0, "distinct spec digests to cycle through (0 = n, fully cold)")
+		salt     = flag.Float64("salt", 0, "gain offset making this run's digests unique")
+		width    = flag.Int("budget-width", 8, "budget_width optimizer option")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-job submit+wait timeout")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	cfg := runConfig{
+		Mode: *mode, Jobs: *n, Concurrency: *c, RateHz: *rate,
+		Distinct: *distinct, Salt: *salt, BudgetWidth: *width, JobTimeout: *timeout,
+	}
+	rep, err := run(context.Background(), api.NewClient(*target), cfg)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Print(rep.String())
+}
+
+// runConfig parameterizes one load run.
+type runConfig struct {
+	Mode        string // "closed" or "open"
+	Jobs        int
+	Concurrency int     // closed loop
+	RateHz      float64 // open loop
+	Distinct    int     // distinct digests; <=0 means Jobs (fully cold)
+	Salt        float64
+	BudgetWidth int
+	JobTimeout  time.Duration
+}
+
+// Report is the run summary.
+type Report struct {
+	Mode       string         `json:"mode"`
+	Target     string         `json:"target"`
+	Jobs       int            `json:"jobs"`
+	Completed  int            `json:"completed"`
+	CacheHits  int            `json:"cache_hits"`
+	Errors     map[string]int `json:"errors,omitempty"`
+	DurationS  float64        `json:"duration_s"`
+	Throughput float64        `json:"throughput_jobs_per_s"`
+	P50Ms      float64        `json:"p50_ms"`
+	P90Ms      float64        `json:"p90_ms"`
+	P99Ms      float64        `json:"p99_ms"`
+	MaxMs      float64        `json:"max_ms"`
+}
+
+func (r *Report) String() string {
+	s := fmt.Sprintf("loadgen: %s loop against %s\n", r.Mode, r.Target)
+	s += fmt.Sprintf("  jobs        %d submitted, %d completed, %d cache hits\n", r.Jobs, r.Completed, r.CacheHits)
+	s += fmt.Sprintf("  wall        %.2fs  (%.1f jobs/s)\n", r.DurationS, r.Throughput)
+	s += fmt.Sprintf("  latency     p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n", r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	if len(r.Errors) > 0 {
+		keys := make([]string, 0, len(r.Errors))
+		for k := range r.Errors {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s += fmt.Sprintf("  error       %-18s %d\n", k, r.Errors[k])
+		}
+	}
+	return s
+}
+
+// specBody fabricates the i-th synthetic system: a comb-plus-smoothing
+// graph whose gain is a pure function of (i mod distinct, salt), so index
+// collisions are digest collisions and nothing else is. The 255-tap
+// smoothing filter and four noise sources make a cold evaluation plan
+// genuinely expensive to build — the point of the generator is measuring
+// backend compute, not HTTP framing. The spec carries its own options, so
+// the body POSTs as-is (the raw-spec submission path).
+func specBody(cfg runConfig, i int) []byte {
+	distinct := cfg.Distinct
+	if distinct <= 0 {
+		distinct = cfg.Jobs
+	}
+	idx := i % distinct
+	gain := 0.5 + 0.01*float64(idx) + cfg.Salt
+	return []byte(fmt.Sprintf(`{
+  "version": 1,
+  "name": "loadgen-%04d",
+  "nodes": [
+    {"name": "in", "kind": "input", "noise": {"name": "in.q", "frac": 12}},
+    {"name": "g", "kind": "gain", "gain": %.6f, "noise": {"name": "g.q", "frac": 12}},
+    {"name": "z1", "kind": "delay", "delay": 1},
+    {"name": "sum", "kind": "adder"},
+    {"name": "smooth", "kind": "filter", "filter": {"fir": {"band": "lowpass", "taps": 255, "f1": 0.2, "window": "hamming"}}, "noise": {"name": "smooth.q", "frac": 12}},
+    {"name": "fine", "kind": "gain", "gain": 0.25, "noise": {"name": "fine.q", "frac": 12}},
+    {"name": "out", "kind": "output"}
+  ],
+  "edges": [["in", "g"], ["in", "z1"], ["g", "sum"], ["z1", "sum"], ["sum", "smooth"], ["smooth", "fine"], ["fine", "out"]],
+  "options": {"strategy": "descent", "budget_width": %d, "min_frac": 4, "max_frac": 16, "seed": 1}
+}`, idx, gain, cfg.BudgetWidth))
+}
+
+// oneJob submits the i-th job and waits for its terminal state, returning
+// the end-to-end latency, whether it was a cache hit, and an error class
+// ("" on success, an api code or "transport" otherwise).
+func oneJob(ctx context.Context, cl *api.Client, cfg runConfig, i int) (time.Duration, bool, string) {
+	ctx, cancel := context.WithTimeout(ctx, cfg.JobTimeout)
+	defer cancel()
+	start := time.Now()
+	info, _, err := cl.SubmitBody(ctx, specBody(cfg, i))
+	if err != nil {
+		return time.Since(start), false, errClass(err)
+	}
+	hit := info.CacheHit
+	if !info.State.Terminal() {
+		fin, err := cl.Wait(ctx, info.ID)
+		if err != nil {
+			return time.Since(start), hit, errClass(err)
+		}
+		if fin.State != service.JobDone {
+			return time.Since(start), hit, "state_" + string(fin.State)
+		}
+	}
+	return time.Since(start), hit, ""
+}
+
+func errClass(err error) string {
+	if apiErr, ok := err.(*api.Error); ok {
+		return apiErr.Code
+	}
+	return "transport"
+}
+
+// run executes the configured load shape and aggregates the report.
+func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("need -n > 0")
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+
+	type sample struct {
+		lat time.Duration
+		hit bool
+		cls string
+	}
+	samples := make([]sample, cfg.Jobs)
+	start := time.Now()
+
+	switch cfg.Mode {
+	case "closed":
+		conc := cfg.Concurrency
+		if conc <= 0 {
+			conc = 1
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					lat, hit, cls := oneJob(ctx, cl, cfg, i)
+					samples[i] = sample{lat, hit, cls}
+				}
+			}()
+		}
+		for i := 0; i < cfg.Jobs; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	case "open":
+		if cfg.RateHz <= 0 {
+			return nil, fmt.Errorf("open loop needs -rate > 0")
+		}
+		interval := time.Duration(float64(time.Second) / cfg.RateHz)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Jobs; i++ {
+			if i > 0 {
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lat, hit, cls := oneJob(ctx, cl, cfg, i)
+				samples[i] = sample{lat, hit, cls}
+			}(i)
+		}
+		wg.Wait()
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (closed or open)", cfg.Mode)
+	}
+
+	rep := &Report{
+		Mode:      cfg.Mode,
+		Target:    cl.BaseURL(),
+		Jobs:      cfg.Jobs,
+		Errors:    map[string]int{},
+		DurationS: time.Since(start).Seconds(),
+	}
+	lats := make([]time.Duration, 0, cfg.Jobs)
+	for _, s := range samples {
+		if s.cls != "" {
+			rep.Errors[s.cls]++
+			continue
+		}
+		rep.Completed++
+		if s.hit {
+			rep.CacheHits++
+		}
+		lats = append(lats, s.lat)
+	}
+	if rep.DurationS > 0 {
+		rep.Throughput = float64(rep.Completed) / rep.DurationS
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(lats)-1))
+			return float64(lats[i]) / float64(time.Millisecond)
+		}
+		rep.P50Ms, rep.P90Ms, rep.P99Ms = pct(0.50), pct(0.90), pct(0.99)
+		rep.MaxMs = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	}
+	return rep, nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/router"
+	"repro/internal/service"
+	"repro/internal/spec"
+)
+
+// TestSpecFamilyDigests pins the generator's contract: every body parses,
+// index collisions are digest collisions, distinct indices are distinct
+// digests, and salt shifts the whole family.
+func TestSpecFamilyDigests(t *testing.T) {
+	cfg := runConfig{Jobs: 100, Distinct: 8, BudgetWidth: 8}
+	digests := map[string]int{}
+	for i := 0; i < 16; i++ {
+		body := specBody(cfg, i)
+		sp, err := spec.Parse(body)
+		if err != nil {
+			t.Fatalf("body %d does not parse: %v\n%s", i, err, body)
+		}
+		d, err := sp.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := digests[d]; ok && prev%8 != i%8 {
+			t.Fatalf("indices %d and %d collide on digest %s", prev, i, d)
+		}
+		digests[d] = i
+	}
+	if len(digests) != 8 {
+		t.Fatalf("16 jobs over 8 distinct produced %d digests", len(digests))
+	}
+
+	salted := runConfig{Jobs: 100, Distinct: 8, BudgetWidth: 8, Salt: 0.004}
+	sp, _ := spec.Parse(specBody(cfg, 0))
+	d0, _ := sp.Digest()
+	sp2, _ := spec.Parse(specBody(salted, 0))
+	d1, _ := sp2.Digest()
+	if d0 == d1 {
+		t.Fatal("salt did not change the digest family")
+	}
+}
+
+// newLoadCluster boots one router over n in-process backends.
+func newLoadCluster(t *testing.T, n int) *api.Client {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		met := api.NewServerMetrics(nil)
+		mgr := service.New(service.Config{
+			NPSD: 64, Workers: 2, NodeID: "b" + string(rune('1'+i)), OnJobDone: met.ObserveJob,
+		})
+		srv := api.NewServer(mgr, api.ServerConfig{Metrics: met})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); mgr.Close() })
+		urls[i] = ts.URL
+	}
+	rt := router.New(router.Config{Pool: router.PoolConfig{Backends: urls}})
+	rt.Start()
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+	return api.NewClient(ts.URL)
+}
+
+// TestClosedLoopAgainstCluster runs a small saturating load through a
+// 2-backend cluster: every job completes, repeats of the digest family
+// hit caches, and the report aggregates sanely.
+func TestClosedLoopAgainstCluster(t *testing.T) {
+	cl := newLoadCluster(t, 2)
+	cfg := runConfig{
+		Mode: "closed", Jobs: 12, Concurrency: 3, Distinct: 4,
+		BudgetWidth: 8, JobTimeout: time.Minute,
+	}
+	rep, err := run(context.Background(), cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 12 || len(rep.Errors) != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// 12 jobs over 4 distinct digests: at least the straight resubmissions
+	// (12 - 4 - in-flight coalesces) answer from cache. Coalesced jobs
+	// report CacheHit=false, so bound loosely from below.
+	if rep.CacheHits < 4 {
+		t.Errorf("cache hits = %d, want >= 4 for 12 jobs over 4 digests", rep.CacheHits)
+	}
+	if rep.Throughput <= 0 || rep.P50Ms <= 0 || rep.MaxMs < rep.P50Ms {
+		t.Errorf("degenerate latency stats: %+v", rep)
+	}
+	if s := rep.String(); !bytes.Contains([]byte(s), []byte("closed loop")) {
+		t.Errorf("report text: %q", s)
+	}
+}
+
+// TestOpenLoopAgainstCluster drives the fixed-arrival-rate shape.
+func TestOpenLoopAgainstCluster(t *testing.T) {
+	cl := newLoadCluster(t, 1)
+	cfg := runConfig{
+		Mode: "open", Jobs: 8, RateHz: 200, Distinct: 2,
+		BudgetWidth: 8, JobTimeout: time.Minute,
+	}
+	rep, err := run(context.Background(), cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 8 || len(rep.Errors) != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+// TestRunRejectsBadConfig pins the config validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	cl := api.NewClient("http://127.0.0.1:0")
+	if _, err := run(context.Background(), cl, runConfig{Mode: "closed", Jobs: 0}); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if _, err := run(context.Background(), cl, runConfig{Mode: "open", Jobs: 1}); err == nil {
+		t.Fatal("open loop without rate accepted")
+	}
+	if _, err := run(context.Background(), cl, runConfig{Mode: "warp", Jobs: 1}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

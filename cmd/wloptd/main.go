@@ -7,22 +7,25 @@
 // engine, cancellable mid-search, and observable step by step over
 // server-sent events.
 //
-// API:
+// The HTTP surface is the versioned wire API of internal/api — request,
+// response and error envelopes live there, shared with the wloptr router,
+// the loadgen load generator and the typed api.Client. This file is only
+// flag parsing and lifecycle; it mounts every route from internal/api:
 //
-//	POST   /v1/jobs          submit {"system": ...|"spec": {...}, "options": {...}}
-//	                         (or a raw spec document with embedded options);
-//	                         202 with the job, 200 when served from cache
-//	GET    /v1/jobs          list retained jobs
-//	GET    /v1/jobs/{id}     job snapshot; ?watch=1 streams progress as SSE
+//	POST   /v1/jobs          submit; 202 with the job, 200 when cached
+//	GET    /v1/jobs          list: ?limit= &cursor= &state=
+//	GET    /v1/jobs/{id}     job snapshot; ?watch=1 streams SSE progress
 //	DELETE /v1/jobs/{id}     cooperative cancel (best-so-far result)
-//	GET    /v1/systems       registry systems accepted by name, with digests
-//	GET    /healthz          liveness + job/cache statistics
+//	GET    /v1/systems       registry systems accepted by name
+//	GET    /healthz          version, uptime, addr, job/cache statistics
+//	GET    /metrics          Prometheus text exposition
 //
 // Usage:
 //
 //	wloptd -addr :8080
 //	wloptd -addr 127.0.0.1:9000 -npsd 512 -workers 8 -cache 256
 //	wloptd -addr :8080 -store /var/lib/wloptd  # persistent warm store
+//	wloptd -addr :8080 -node b1                # job-ID prefix behind a router
 //	wloptd -addr :8080 -pprof 127.0.0.1:6060   # live profiling sidecar
 //
 // With -store, completed results and engine plan snapshots (transfer
@@ -33,6 +36,10 @@
 // and rebuilt by the next job; the daemon never serves bad data. The
 // /healthz stats expose the store census plus plan_builds/plan_restores
 // counters for observing the effect.
+//
+// With -node (default: a random 4-hex tag), job IDs are minted as
+// "<node>-j000001" so IDs from different backends never collide behind a
+// wloptr router. Pass -node ” to keep bare "j000001" IDs.
 //
 // The -pprof flag serves net/http/pprof on a second, separate listener so
 // the service hot paths (plan lookups, scalar move scoring, the worker
@@ -48,13 +55,10 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
+	"crypto/rand"
+	"encoding/hex"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
@@ -63,8 +67,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/service"
-	"repro/internal/spec"
 	"repro/internal/store"
 )
 
@@ -77,6 +81,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "result cache entries (0 = 128)")
 		queue    = flag.Int("queue", 0, "pending job queue bound (0 = 256)")
 		maxBody  = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		node     = flag.String("node", "auto", "job-ID prefix distinguishing this backend in a cluster ('auto' = random, '' = none)")
 		storeDir = flag.String("store", "", "persistent warm-store directory (plans + results survive restarts); empty disables")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	)
@@ -105,6 +110,15 @@ func main() {
 		}()
 	}
 
+	nodeID := *node
+	if nodeID == "auto" {
+		nodeID = randomNodeID()
+	}
+	if nodeID != "" {
+		log.Printf("wloptd: node ID %s", nodeID)
+	}
+
+	met := api.NewServerMetrics(nil)
 	mgr := service.New(service.Config{
 		NPSD:            *npsd,
 		Workers:         *workers,
@@ -112,10 +126,12 @@ func main() {
 		ResultCacheSize: *cache,
 		QueueSize:       *queue,
 		Store:           st,
+		NodeID:          nodeID,
+		OnJobDone:       met.ObserveJob,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(mgr, *maxBody),
+		Handler:           newMux(mgr, *maxBody, met, *addr),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -145,177 +161,20 @@ func main() {
 	log.Printf("wloptd: bye")
 }
 
-// newMux wires the API onto a fresh mux; split from main so the end-to-end
-// tests can mount it on httptest servers.
-func newMux(mgr *service.Manager, maxBody int64) *http.ServeMux {
-	s := &server{mgr: mgr, maxBody: maxBody}
+// newMux wires the daemon's handler: every route is mounted from the
+// shared internal/api layer (the router and the tests mount the same
+// handlers); nothing is hand-rolled here.
+func newMux(mgr *service.Manager, maxBody int64, met *api.ServerMetrics, addr string) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("GET /v1/systems", s.systems)
-	mux.HandleFunc("POST /v1/jobs", s.submit)
-	mux.HandleFunc("GET /v1/jobs", s.list)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	api.NewServer(mgr, api.ServerConfig{MaxBody: maxBody, Addr: addr, Metrics: met}).Mount(mux)
 	return mux
 }
 
-type server struct {
-	mgr     *service.Manager
-	maxBody int64
-}
-
-// writeJSON emits a JSON response.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-// writeErr maps service sentinel errors onto HTTP statuses.
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, service.ErrBadRequest):
-		status = http.StatusBadRequest
-	case errors.Is(err, service.ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
-		status = http.StatusServiceUnavailable
+// randomNodeID mints a short random backend tag for job-ID namespacing.
+func randomNodeID() string {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "node"
 	}
-	writeJSON(w, status, apiError{Error: err.Error()})
-}
-
-func (s *server) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status string        `json:"status"`
-		Stats  service.Stats `json:"stats"`
-	}{"ok", s.mgr.Stats()})
-}
-
-func (s *server) systems(w http.ResponseWriter, r *http.Request) {
-	list, err := s.mgr.Systems()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, list)
-}
-
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(w, r, s.maxBody)
-	if err != nil {
-		writeErr(w, fmt.Errorf("%w: %v", service.ErrBadRequest, err))
-		return
-	}
-	var req service.Request
-	// Strict decoding so a typoed field inside {"spec": ...} is rejected,
-	// exactly like the same document POSTed raw through spec.Parse —
-	// silently dropping an unknown field would optimize a different
-	// problem than the client wrote.
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil || (req.System == "" && req.Spec == nil) {
-		// Convenience: a raw spec document (as produced by spec.Marshal,
-		// e.g. curl -d @examples/specs/comb-notch.json) is accepted
-		// directly, with its embedded options.
-		sp, perr := spec.Parse(body)
-		if perr != nil {
-			if err == nil {
-				err = fmt.Errorf("request has neither system nor spec")
-			}
-			writeErr(w, fmt.Errorf("%w: %v (as raw spec: %v)", service.ErrBadRequest, err, perr))
-			return
-		}
-		req = service.Request{Spec: sp}
-	}
-	info, err := s.mgr.Submit(req)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	status := http.StatusAccepted
-	if info.CacheHit {
-		status = http.StatusOK
-	}
-	writeJSON(w, status, info)
-}
-
-func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, error) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-	defer r.Body.Close()
-	return io.ReadAll(r.Body)
-}
-
-func (s *server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.List())
-}
-
-func (s *server) get(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if r.URL.Query().Get("watch") != "" {
-		s.watch(w, r, id)
-		return
-	}
-	info, err := s.mgr.Get(id)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, info)
-}
-
-// watch streams the job's event history and live progress as server-sent
-// events; the stream ends after the terminal event, or when the client
-// disconnects.
-func (s *server) watch(w http.ResponseWriter, r *http.Request, id string) {
-	ch, stop, err := s.mgr.Watch(id)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	defer stop()
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeErr(w, fmt.Errorf("streaming unsupported"))
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
-	for {
-		select {
-		case ev, ok := <-ch:
-			if !ok {
-				return
-			}
-			data, err := json.Marshal(ev)
-			if err != nil {
-				return
-			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
-			flusher.Flush()
-			if ev.Terminal {
-				return
-			}
-		case <-r.Context().Done():
-			return
-		}
-	}
-}
-
-func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
-	info, err := s.mgr.Cancel(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, info)
+	return hex.EncodeToString(b[:])
 }

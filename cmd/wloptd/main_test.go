@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/systems"
@@ -28,8 +29,10 @@ func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service
 	if cfg.NPSD == 0 {
 		cfg.NPSD = 64
 	}
+	met := api.NewServerMetrics(nil)
+	cfg.OnJobDone = met.ObserveJob
 	mgr := service.New(cfg)
-	ts := httptest.NewServer(newMux(mgr, 1<<20))
+	ts := httptest.NewServer(newMux(mgr, 1<<20, met, "test"))
 	t.Cleanup(func() {
 		ts.Close()
 		mgr.Close()
@@ -301,14 +304,17 @@ func TestDaemonRawSpecSubmission(t *testing.T) {
 }
 
 // TestDaemonErrorsAndListing covers the remaining routes and status codes.
+// (The exhaustive per-path error-envelope table lives in internal/api; this
+// checks the mounted daemon speaks the same envelope.)
 func TestDaemonErrorsAndListing(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{Workers: 1})
 
-	var e struct {
-		Error string `json:"error"`
-	}
+	var e api.ErrorEnvelope
 	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/jobs/j999999", nil, &e); code != http.StatusNotFound {
 		t.Fatalf("unknown job status %d", code)
+	}
+	if e.Error == nil || e.Error.Code != api.CodeNotFound {
+		t.Fatalf("unknown job envelope %+v, want code %q", e.Error, api.CodeNotFound)
 	}
 	if code := httpJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/j999999", nil, &e); code != http.StatusNotFound {
 		t.Fatalf("unknown delete status %d", code)
@@ -318,6 +324,9 @@ func TestDaemonErrorsAndListing(t *testing.T) {
 	}
 	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(`not json`), &e); code != http.StatusBadRequest {
 		t.Fatalf("garbage body status %d", code)
+	}
+	if e.Error == nil || e.Error.Code != api.CodeBadSpec {
+		t.Fatalf("garbage body envelope %+v, want code %q", e.Error, api.CodeBadSpec)
 	}
 	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(`{"options":{"budget_width":8}}`), &e); code != http.StatusBadRequest {
 		t.Fatalf("empty request status %d", code)
@@ -343,26 +352,27 @@ func TestDaemonErrorsAndListing(t *testing.T) {
 		t.Fatalf("submit status %d", code)
 	}
 	pollDone(t, ts.URL, info.ID)
-	var list []service.JobInfo
-	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil, &list); code != http.StatusOK {
+	var page service.JobPage
+	if code := httpJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil, &page); code != http.StatusOK {
 		t.Fatalf("list status %d", code)
 	}
-	if len(list) != 1 || list[0].ID != info.ID {
-		t.Fatalf("listing %+v", list)
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != info.ID || page.NextCursor != "" {
+		t.Fatalf("listing %+v", page)
 	}
 }
 
 // TestDaemonBodyLimit pins the request size guard.
 func TestDaemonBodyLimit(t *testing.T) {
 	mgr := service.New(service.Config{NPSD: 64, Workers: 1})
-	ts := httptest.NewServer(newMux(mgr, 128)) // tiny limit
+	ts := httptest.NewServer(newMux(mgr, 128, api.NewServerMetrics(nil), "test")) // tiny limit
 	t.Cleanup(func() { ts.Close(); mgr.Close() })
 	big := fmt.Sprintf(`{"system":"dwt97(fig3)","options":{"budget_width":8},"pad":%q}`,
 		strings.Repeat("x", 4096))
-	var e struct {
-		Error string `json:"error"`
-	}
+	var e api.ErrorEnvelope
 	if code := httpJSON(t, http.MethodPost, ts.URL+"/v1/jobs", []byte(big), &e); code != http.StatusBadRequest {
 		t.Fatalf("oversized body status %d (%+v)", code, e)
+	}
+	if e.Error == nil || e.Error.Code == "" {
+		t.Fatalf("oversized body lacks error envelope: %+v", e)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -99,7 +100,7 @@ func TestDaemonRestartPersistence(t *testing.T) {
 
 	// First daemon lifetime: run the job, write through, shut down.
 	mgr1 := service.New(service.Config{NPSD: 64, Workers: 2, Store: openStore()})
-	ts1 := httptest.NewServer(newMux(mgr1, 1<<20))
+	ts1 := httptest.NewServer(newMux(mgr1, 1<<20, api.NewServerMetrics(nil), "test"))
 	var first service.JobInfo
 	if code := httpJSON(t, http.MethodPost, ts1.URL+"/v1/jobs", body, &first); code != http.StatusAccepted {
 		t.Fatalf("first submit status %d", code)
@@ -118,7 +119,7 @@ func TestDaemonRestartPersistence(t *testing.T) {
 	// Second daemon lifetime, same directory: the duplicate is a 200 from
 	// the persistent tier, with zero plans built in this process.
 	mgr2 := service.New(service.Config{NPSD: 64, Workers: 2, Store: openStore()})
-	ts2 := httptest.NewServer(newMux(mgr2, 1<<20))
+	ts2 := httptest.NewServer(newMux(mgr2, 1<<20, api.NewServerMetrics(nil), "test"))
 	t.Cleanup(func() { ts2.Close(); mgr2.Close() })
 	var dup service.JobInfo
 	if code := httpJSON(t, http.MethodPost, ts2.URL+"/v1/jobs", body, &dup); code != http.StatusOK {

@@ -1,0 +1,111 @@
+// Command wloptr is the sharded serving tier's router: a consistent-hash
+// front end spreading jobs across a pool of wloptd backends by spec
+// digest. It speaks the identical /v1 wire API (internal/api), so clients
+// point at the router exactly as they would at a single daemon — and get
+// a cluster whose plan caches, result caches, and persistent stores stay
+// warm per shard, because every submission of the same system always
+// lands on the same backend.
+//
+// Usage:
+//
+//	wloptr -addr :8090 -backends http://127.0.0.1:9001,http://127.0.0.1:9002
+//	wloptr -addr :8090 -backends ... -inflight 64 -probe-interval 1s
+//
+// Routing: POST /v1/jobs parses the body at the edge (bad specs are
+// rejected with line/col before touching a backend), computes the shard
+// key — the spec content digest, or the registry name for named
+// submissions — and forwards to the key's owner on the ring. If the owner
+// is ejected, the request fails over along the ring's deterministic
+// clockwise order; if the owner is merely saturated, the router answers
+// 429 queue_full with Retry-After rather than spilling the digest's work
+// onto a cold backend. Reads follow a job-ID affinity map with fan-out
+// fallback; GET /v1/jobs fans in across all healthy backends with a
+// composite cursor; ?watch=1 proxies the backend's SSE stream frame by
+// frame. Every proxied response carries X-Wlopt-Backend.
+//
+// Health: each backend is probed on /healthz every -probe-interval;
+// -eject-after consecutive failures eject it, -readmit-after consecutive
+// successes bring it back. A transport-level proxy failure ejects
+// immediately. /healthz on the router reports the pool view; /metrics
+// exposes wloptr_* counters, gauges, and latency histograms.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "listen address")
+		backends      = flag.String("backends", "", "comma-separated wloptd base URLs (required)")
+		inflight      = flag.Int("inflight", 0, "max in-flight requests per backend (0 = 32)")
+		maxBody       = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "backend /healthz probe period")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		ejectAfter    = flag.Int("eject-after", 3, "consecutive probe failures before ejection")
+		readmitAfter  = flag.Int("readmit-after", 2, "consecutive probe successes before readmission")
+	)
+	flag.Parse()
+
+	var pool []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			pool = append(pool, b)
+		}
+	}
+	if len(pool) == 0 {
+		log.Fatal("wloptr: -backends is required (comma-separated base URLs)")
+	}
+
+	rt := router.New(router.Config{
+		Pool: router.PoolConfig{
+			Backends:      pool,
+			InFlight:      *inflight,
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			EjectAfter:    *ejectAfter,
+			ReadmitAfter:  *readmitAfter,
+		},
+		MaxBody: *maxBody,
+		Addr:    *addr,
+		Logf:    log.Printf,
+	})
+	rt.Start()
+	defer rt.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("wloptr: routing %d backends on %s", len(pool), *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("wloptr: shutting down")
+	case err := <-errCh:
+		log.Printf("wloptr: serve: %v", err)
+		os.Exit(1)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("wloptr: shutdown: %v", err)
+		srv.Close()
+	}
+	log.Printf("wloptr: bye")
+}

@@ -1,0 +1,248 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Client is the typed wire-API client. The router proxies through it, the
+// load generator drives clusters with it, and the end-to-end tests use it
+// instead of hand-rolled HTTP calls. All methods honor ctx for deadline
+// and cancellation; non-2xx responses come back as *Error, so callers can
+// switch on the machine-readable code:
+//
+//	info, err := cl.Submit(ctx, req)
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeQueueFull { ... }
+//
+// Any other error is transport-level (connection refused, ctx expiry) —
+// the signal a router uses to eject a backend.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a base URL ("http://host:port"). The optional
+// http.Client overrides transport behavior; it must not set a global
+// Timeout (that would sever long watch streams — use ctx instead).
+func NewClient(base string, hc ...*http.Client) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	if len(hc) > 0 && hc[0] != nil {
+		c.hc = hc[0]
+	}
+	return c
+}
+
+// BaseURL reports the target this client was built for.
+func (c *Client) BaseURL() string { return c.base }
+
+// do issues one request and decodes the response: 2xx into out (when
+// non-nil), anything else into a *Error.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, out any) (int, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return resp.StatusCode, decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s %s: decode response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// decodeError turns a non-2xx response into a *Error, tolerating
+// non-envelope bodies (proxies, panics) by wrapping them as internal.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = resp.StatusCode
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if s, err := strconv.Atoi(ra); err == nil {
+				env.Error.RetryAfterS = s
+			}
+		}
+		return env.Error
+	}
+	return &Error{
+		Code:    CodeInternal,
+		Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))),
+		Status:  resp.StatusCode,
+	}
+}
+
+// Submit posts one job request.
+func (c *Client) Submit(ctx context.Context, req service.Request) (*service.JobInfo, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	info, _, err := c.SubmitBody(ctx, body)
+	return info, err
+}
+
+// SubmitBody posts a raw submit body (a request envelope or a bare spec
+// document) and reports the backend's status code alongside the job — the
+// router mirrors it (202 queued vs 200 cache hit) to its own caller.
+func (c *Client) SubmitBody(ctx context.Context, body []byte) (*service.JobInfo, int, error) {
+	var info service.JobInfo
+	status, err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, body, &info)
+	if err != nil {
+		return nil, status, err
+	}
+	return &info, status, nil
+}
+
+// Job fetches one job snapshot.
+func (c *Client) Job(ctx context.Context, id string) (*service.JobInfo, error) {
+	var info service.JobInfo
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Jobs fetches one page of the job listing.
+func (c *Client) Jobs(ctx context.Context, q service.ListQuery) (*service.JobPage, error) {
+	vals := url.Values{}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Cursor != "" {
+		vals.Set("cursor", q.Cursor)
+	}
+	if q.State != "" {
+		vals.Set("state", string(q.State))
+	}
+	var page service.JobPage
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs", vals, nil, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// Cancel requests cooperative cancellation.
+func (c *Client) Cancel(ctx context.Context, id string) (*service.JobInfo, error) {
+	var info service.JobInfo
+	if _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Systems lists the registry systems the target accepts by name.
+func (c *Client) Systems(ctx context.Context) ([]service.SystemInfo, error) {
+	var list []service.SystemInfo
+	if _, err := c.do(ctx, http.MethodGet, "/v1/systems", nil, nil, &list); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// MetricsText scrapes /metrics (Prometheus text exposition).
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Watch streams the job's events (history replay, then live progress),
+// invoking fn per event until the stream ends at the terminal event, fn
+// returns false, or ctx expires. A nil return means the stream completed
+// (terminal event seen or fn stopped it).
+func (c *Client) Watch(ctx context.Context, id string, fn func(service.Event) bool) error {
+	u := c.base + "/v1/jobs/" + url.PathEscape(id) + "?watch=1"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("watch %s: bad SSE payload %q: %w", id, line, err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+		if ev.Terminal {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("watch %s: stream: %w", id, err)
+	}
+	return fmt.Errorf("watch %s: stream ended before terminal event", id)
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires) and
+// returns its final snapshot. It rides the watch stream, so a cache-hit
+// job returns immediately from the history replay.
+func (c *Client) Wait(ctx context.Context, id string) (*service.JobInfo, error) {
+	if err := c.Watch(ctx, id, func(service.Event) bool { return true }); err != nil {
+		return nil, err
+	}
+	return c.Job(ctx, id)
+}

@@ -1,0 +1,331 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Pool state errors, mapped by the router to wire codes: ErrNoBackend →
+// 503 no_backend, ErrBackendBusy → 429 queue_full (+ Retry-After).
+var (
+	ErrNoBackend   = errors.New("no healthy backend")
+	ErrBackendBusy = errors.New("backend at in-flight capacity")
+)
+
+// PoolConfig configures the health-checked backend set.
+type PoolConfig struct {
+	// Backends are the wloptd base URLs ("http://host:port"). The set is
+	// fixed for the pool's lifetime; health tracking decides which members
+	// receive traffic.
+	Backends []string
+	// InFlight bounds the router's concurrently outstanding requests per
+	// backend (admission control). <=0 selects 32.
+	InFlight int
+	// ProbeInterval is the /healthz probe period (<=0: 2s); ProbeTimeout
+	// bounds each probe (<=0: 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// EjectAfter ejects a backend after that many consecutive probe
+	// failures (<=0: 3); ReadmitAfter readmits after that many consecutive
+	// successes (<=0: 2). A transport-level proxy failure ejects
+	// immediately (passive detection) — readmission always goes through
+	// the probe path.
+	EjectAfter   int
+	ReadmitAfter int
+	// HTTPClient overrides the probe/proxy transport (tests inject
+	// httptest clients). Must not set a global Timeout.
+	HTTPClient *http.Client
+	// OnEject and OnReadmit observe health transitions (metrics, logs).
+	OnEject   func(addr string, reason error)
+	OnReadmit func(addr string)
+	// Logf, when set, receives health-transition log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *PoolConfig) withDefaults() PoolConfig {
+	out := *c
+	if out.InFlight <= 0 {
+		out.InFlight = 32
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 2 * time.Second
+	}
+	if out.ProbeTimeout <= 0 {
+		out.ProbeTimeout = time.Second
+	}
+	if out.EjectAfter <= 0 {
+		out.EjectAfter = 3
+	}
+	if out.ReadmitAfter <= 0 {
+		out.ReadmitAfter = 2
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// backend is one pooled wloptd, with health and admission state.
+type backend struct {
+	addr   string
+	client *api.Client
+
+	mu        sync.Mutex
+	healthy   bool
+	consecBad int   // consecutive probe failures while healthy
+	consecOK  int   // consecutive probe successes while ejected
+	inFlight  int   // router-side outstanding requests
+	requests  int64 // proxied requests since boot
+	failures  int64 // transport-level failures since boot
+	lastErr   string
+}
+
+// Pool is the health-checked backend set behind the router: it owns one
+// api.Client per backend, runs the active probe loop, applies passive
+// ejection on transport failures, and enforces the per-backend in-flight
+// admission bound.
+//
+// Backends start healthy (optimistic): the first probe round corrects the
+// picture within ProbeInterval, and any proxy attempt that hits a dead
+// backend ejects it immediately, so optimism costs at most one failed
+// request per dead backend — while the pessimistic alternative would
+// reject all traffic during a cold router start.
+type Pool struct {
+	cfg      PoolConfig
+	ring     *Ring
+	backends map[string]*backend
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPool builds the pool and its ring. Call Start to begin probing.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Backends, 0),
+		backends: make(map[string]*backend),
+		stop:     make(chan struct{}),
+	}
+	for _, addr := range p.ring.Addrs() {
+		p.backends[addr] = &backend{
+			addr:    addr,
+			client:  api.NewClient(addr, cfg.HTTPClient),
+			healthy: true,
+		}
+	}
+	return p
+}
+
+// Ring exposes the pool's consistent-hash ring.
+func (p *Pool) Ring() *Ring { return p.ring }
+
+// Client returns the typed client for a pooled backend (nil if unknown).
+func (p *Pool) Client(addr string) *api.Client {
+	if b := p.backends[addr]; b != nil {
+		return b.client
+	}
+	return nil
+}
+
+// Start launches the probe loop. Close stops it.
+func (p *Pool) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops probing and waits for the loop to exit.
+func (p *Pool) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// probeAll probes every backend once, concurrently (a slow backend must
+// not delay health decisions about its peers).
+func (p *Pool) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+			defer cancel()
+			_, err := b.client.Health(ctx)
+			p.recordProbe(b, err)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// recordProbe applies one probe result to the eject/readmit counters.
+func (p *Pool) recordProbe(b *backend, err error) {
+	var ejected, readmitted bool
+	b.mu.Lock()
+	if err != nil {
+		b.lastErr = err.Error()
+		b.consecOK = 0
+		if b.healthy {
+			b.consecBad++
+			if b.consecBad >= p.cfg.EjectAfter {
+				b.healthy = false
+				ejected = true
+			}
+		}
+	} else {
+		b.consecBad = 0
+		if !b.healthy {
+			b.consecOK++
+			if b.consecOK >= p.cfg.ReadmitAfter {
+				b.healthy = true
+				b.lastErr = ""
+				readmitted = true
+			}
+		}
+	}
+	b.mu.Unlock()
+	if ejected {
+		p.cfg.Logf("router: backend %s ejected (probe: %v)", b.addr, err)
+		if p.cfg.OnEject != nil {
+			p.cfg.OnEject(b.addr, err)
+		}
+	}
+	if readmitted {
+		p.cfg.Logf("router: backend %s readmitted", b.addr)
+		if p.cfg.OnReadmit != nil {
+			p.cfg.OnReadmit(b.addr)
+		}
+	}
+}
+
+// Acquire admits one request against addr: it fails with ErrNoBackend if
+// the backend is ejected and ErrBackendBusy if its in-flight bound is
+// reached; otherwise it reserves a slot and returns the client plus a
+// release function the caller must invoke when the proxied request ends.
+// release reports whether the request failed at the transport level —
+// true ejects the backend immediately (passive detection).
+func (p *Pool) Acquire(addr string) (cl *api.Client, release func(transportErr error), err error) {
+	b := p.backends[addr]
+	if b == nil {
+		return nil, nil, ErrNoBackend
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.healthy {
+		return nil, nil, ErrNoBackend
+	}
+	if b.inFlight >= p.cfg.InFlight {
+		return nil, nil, ErrBackendBusy
+	}
+	b.inFlight++
+	b.requests++
+	return b.client, func(transportErr error) { p.release(b, transportErr) }, nil
+}
+
+// release returns the admission slot and applies passive ejection.
+func (p *Pool) release(b *backend, transportErr error) {
+	var ejected bool
+	b.mu.Lock()
+	b.inFlight--
+	if transportErr != nil {
+		b.failures++
+		b.lastErr = transportErr.Error()
+		b.consecOK = 0
+		if b.healthy {
+			b.healthy = false
+			ejected = true
+		}
+	}
+	b.mu.Unlock()
+	if ejected {
+		p.cfg.Logf("router: backend %s ejected (proxy: %v)", b.addr, transportErr)
+		if p.cfg.OnEject != nil {
+			p.cfg.OnEject(b.addr, transportErr)
+		}
+	}
+}
+
+// ReportFailure applies passive ejection for a transport failure seen
+// outside the Acquire/release path (read-side proxying).
+func (p *Pool) ReportFailure(addr string, err error) {
+	b := p.backends[addr]
+	if b == nil {
+		return
+	}
+	var ejected bool
+	b.mu.Lock()
+	b.failures++
+	b.lastErr = err.Error()
+	b.consecOK = 0
+	if b.healthy {
+		b.healthy = false
+		ejected = true
+	}
+	b.mu.Unlock()
+	if ejected {
+		p.cfg.Logf("router: backend %s ejected (proxy: %v)", addr, err)
+		if p.cfg.OnEject != nil {
+			p.cfg.OnEject(addr, err)
+		}
+	}
+}
+
+// Healthy reports whether addr is currently admitted.
+func (p *Pool) Healthy(addr string) bool {
+	b := p.backends[addr]
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// InFlight reports the router's outstanding requests against addr.
+func (p *Pool) InFlight(addr string) int {
+	b := p.backends[addr]
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inFlight
+}
+
+// Healthz snapshots the pool for the router's /healthz body, in ring
+// (sorted-address) order.
+func (p *Pool) Healthz() []api.BackendHealth {
+	out := make([]api.BackendHealth, 0, len(p.backends))
+	for _, addr := range p.ring.Addrs() {
+		b := p.backends[addr]
+		b.mu.Lock()
+		out = append(out, api.BackendHealth{
+			Addr:        b.addr,
+			Healthy:     b.healthy,
+			InFlight:    b.inFlight,
+			InFlightCap: p.cfg.InFlight,
+			Requests:    b.requests,
+			Failures:    b.failures,
+			LastError:   b.lastErr,
+		})
+		b.mu.Unlock()
+	}
+	return out
+}

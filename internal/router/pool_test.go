@@ -1,0 +1,151 @@
+package router
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyBackend is an httptest /healthz endpoint whose availability the
+// test toggles.
+type flakyBackend struct {
+	up atomic.Bool
+	ts *httptest.Server
+}
+
+func newFlakyBackend(t *testing.T) *flakyBackend {
+	f := &flakyBackend{}
+	f.up.Store(true)
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !f.up.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","version":"test","uptime_s":1,"addr":"x"}`))
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPoolEjectAndReadmit drives the active health loop: a backend that
+// fails EjectAfter consecutive probes is ejected, recovers after
+// ReadmitAfter consecutive successes, and transitions are observable via
+// the hooks and Healthz.
+func TestPoolEjectAndReadmit(t *testing.T) {
+	good := newFlakyBackend(t)
+	flaky := newFlakyBackend(t)
+	var ejects, readmits atomic.Int64
+	p := NewPool(PoolConfig{
+		Backends:      []string{good.ts.URL, flaky.ts.URL},
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		EjectAfter:    3,
+		ReadmitAfter:  2,
+		OnEject:       func(string, error) { ejects.Add(1) },
+		OnReadmit:     func(string) { readmits.Add(1) },
+	})
+	p.Start()
+	defer p.Close()
+
+	if !p.Healthy(flaky.ts.URL) || !p.Healthy(good.ts.URL) {
+		t.Fatal("backends must start healthy (optimistic admission)")
+	}
+
+	// HTTP 500 probes are client.Health errors (*api.Error) — they count
+	// as probe failures even though the transport is fine.
+	flaky.up.Store(false)
+	waitFor(t, "ejection", func() bool { return !p.Healthy(flaky.ts.URL) })
+	if p.Healthy(flaky.ts.URL) {
+		t.Fatal("flaky backend still admitted")
+	}
+	if !p.Healthy(good.ts.URL) {
+		t.Fatal("healthy peer was ejected collaterally")
+	}
+	if _, _, err := p.Acquire(flaky.ts.URL); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("Acquire on ejected backend: %v", err)
+	}
+
+	flaky.up.Store(true)
+	waitFor(t, "readmission", func() bool { return p.Healthy(flaky.ts.URL) })
+	if ejects.Load() < 1 || readmits.Load() < 1 {
+		t.Fatalf("hooks: %d ejects, %d readmits", ejects.Load(), readmits.Load())
+	}
+
+	hz := p.Healthz()
+	if len(hz) != 2 {
+		t.Fatalf("Healthz reports %d backends", len(hz))
+	}
+	for _, b := range hz {
+		if !b.Healthy {
+			t.Fatalf("backend %s unhealthy after recovery: %+v", b.Addr, b)
+		}
+	}
+}
+
+// TestPoolAdmissionBound pins the in-flight admission control: the
+// InFlight-th concurrent Acquire succeeds, the next is ErrBackendBusy,
+// and releasing a slot readmits.
+func TestPoolAdmissionBound(t *testing.T) {
+	b := newFlakyBackend(t)
+	p := NewPool(PoolConfig{Backends: []string{b.ts.URL}, InFlight: 2})
+	// No Start: admission is independent of the probe loop.
+
+	_, rel1, err := p.Acquire(b.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rel2, err := p.Acquire(b.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Acquire(b.ts.URL); !errors.Is(err, ErrBackendBusy) {
+		t.Fatalf("over-capacity Acquire: %v, want ErrBackendBusy", err)
+	}
+	if got := p.InFlight(b.ts.URL); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	rel1(nil)
+	if _, rel3, err := p.Acquire(b.ts.URL); err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	} else {
+		rel3(nil)
+	}
+	rel2(nil)
+	if got := p.InFlight(b.ts.URL); got != 0 {
+		t.Fatalf("InFlight = %d after all releases", got)
+	}
+}
+
+// TestPoolPassiveEjection pins the fast path: one transport-level failure
+// reported through release ejects immediately — no probe round needed.
+func TestPoolPassiveEjection(t *testing.T) {
+	b := newFlakyBackend(t)
+	p := NewPool(PoolConfig{Backends: []string{b.ts.URL}})
+	_, rel, err := p.Acquire(b.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(errors.New("connection refused"))
+	if p.Healthy(b.ts.URL) {
+		t.Fatal("backend still admitted after transport failure")
+	}
+	hz := p.Healthz()
+	if hz[0].Failures != 1 || hz[0].LastError == "" {
+		t.Fatalf("failure not recorded: %+v", hz[0])
+	}
+}

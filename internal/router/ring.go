@@ -1,0 +1,144 @@
+// Package router is the sharded serving tier's front end: a consistent-hash
+// router spreading jobs across a pool of wloptd backends by spec digest.
+//
+// Routing by content digest — not round-robin — is what makes a cluster of
+// plan-cached evaluation engines behave like one big warm cache: every
+// resubmission, watch, and option sweep over the same system lands on the
+// backend that already holds its transfer profiles, σ²-tables, and cached
+// results. Adding or removing a backend remaps only ~1/N of the digest
+// space (the consistent-hashing property), so a scale-out event does not
+// flush the cluster's accumulated plans.
+//
+// The package splits into three layers:
+//
+//	Ring   — pure consistent-hash math; deterministic from the address list
+//	Pool   — health-checked backend set: probes, ejection, admission bounds
+//	Router — the HTTP front end mounting the same /v1 wire API as wloptd
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per backend. 128 keeps the
+// per-backend share of the digest space within a few percent of uniform
+// for small pools while the ring stays tiny (N×128 points).
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over backend addresses. The
+// point set is a pure function of the sorted address list and the replica
+// count — two routers configured with the same backends build identical
+// rings, so a restart (or a second router instance) routes every digest
+// to the same backend. Construction hashes "addr#i" for i < replicas per
+// address; lookups walk clockwise from the key's hash.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	addrs  []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// NewRing builds a ring over the given backend addresses (duplicates are
+// collapsed, order does not matter). replicas <= 0 selects
+// DefaultReplicas. An empty address list yields a ring whose lookups
+// return no owners.
+func NewRing(addrs []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(addrs))
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			uniq = append(uniq, a)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		points: make([]ringPoint, 0, len(uniq)*replicas),
+		addrs:  uniq,
+	}
+	for _, addr := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(addr, i), addr: addr})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by address so the ring stays
+		// deterministic regardless of input order.
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// pointHash places virtual node i of addr on the ring: the first 8 bytes
+// of sha256("addr#i"), big-endian.
+func pointHash(addr string, i int) uint64 {
+	h := sha256.Sum256([]byte(addr + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// keyHash places a routing key (a spec digest) on the ring. Digests are
+// already uniform hex; hashing again keeps arbitrary keys safe too.
+func keyHash(key string) uint64 {
+	h := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Addrs returns the backend addresses on the ring, sorted.
+func (r *Ring) Addrs() []string {
+	out := make([]string, len(r.addrs))
+	copy(out, r.addrs)
+	return out
+}
+
+// Owner returns the backend owning the key: the first point at or
+// clockwise after the key's hash. ok is false only for an empty ring.
+func (r *Ring) Owner(key string) (addr string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.at(key)].addr, true
+}
+
+// Seq returns every backend in the key's clockwise failover order: the
+// owner first, then each further distinct backend as the walk continues.
+// A router tries them in order when backends are ejected, so a key's
+// traffic moves to a deterministic second choice — and returns home as
+// soon as the owner is readmitted.
+func (r *Ring) Seq(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.addrs))
+	seen := make(map[string]bool, len(r.addrs))
+	start := r.at(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.addrs); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}
+
+// at locates the first ring point at or clockwise after the key's hash.
+func (r *Ring) at(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the ring
+	}
+	return i
+}

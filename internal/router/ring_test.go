@@ -1,0 +1,184 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// digestSet fabricates n deterministic digest-shaped routing keys.
+func digestSet(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%032x%032x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+func addrList(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return addrs
+}
+
+// TestRingDeterministicAcrossRestarts is the "seeded golden" half of the
+// stability satellite: a fixed digest set must map identically on every
+// ring built from the same backend list — across construction order,
+// process restarts, and router instances. The embedded golden pins the
+// mapping itself, so any change to the hash placement (replica count,
+// hash function, tie-breaking) fails loudly instead of silently
+// reshuffling a live cluster's warm caches.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	addrs := []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"}
+	golden := []struct{ key, owner string }{
+		{"sha256:000000000000000000000000000000000000000000000000000000000000000b", "127.0.0.1:9001"},
+		{"sha256:0000000000000000000000000000000000000000000000000000000000001e7c", "127.0.0.1:9001"},
+		{"sha256:0000000000000000000000000000000000000000000000000000000000003ced", "127.0.0.1:9003"},
+		{"sha256:0000000000000000000000000000000000000000000000000000000000005b5e", "127.0.0.1:9003"},
+		{"sha256:00000000000000000000000000000000000000000000000000000000000079cf", "127.0.0.1:9002"},
+		{"sha256:0000000000000000000000000000000000000000000000000000000000009840", "127.0.0.1:9003"},
+		{"sha256:000000000000000000000000000000000000000000000000000000000000b6b1", "127.0.0.1:9002"},
+		{"sha256:000000000000000000000000000000000000000000000000000000000000d522", "127.0.0.1:9003"},
+		{"sha256:000000000000000000000000000000000000000000000000000000000000f393", "127.0.0.1:9001"},
+		{"sha256:0000000000000000000000000000000000000000000000000000000000011204", "127.0.0.1:9001"},
+		{"sha256:0000000000000000000000000000000000000000000000000000000000013075", "127.0.0.1:9001"},
+		{"sha256:0000000000000000000000000000000000000000000000000000000000014ee6", "127.0.0.1:9002"},
+	}
+	r := NewRing(addrs, 0)
+	for _, g := range golden {
+		owner, ok := r.Owner(g.key)
+		if !ok || owner != g.owner {
+			t.Errorf("Owner(%s) = %q, golden %q", g.key, owner, g.owner)
+		}
+	}
+
+	// Address order and duplicates must not matter ("restart" with a
+	// differently-written config file).
+	shuffled := NewRing([]string{"127.0.0.1:9003", "127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9001"}, 0)
+	for _, key := range digestSet(500) {
+		a, _ := r.Owner(key)
+		b, _ := shuffled.Owner(key)
+		if a != b {
+			t.Fatalf("Owner(%s) differs across construction order: %q vs %q", key, a, b)
+		}
+		if sa, sb := r.Seq(key), shuffled.Seq(key); !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("Seq(%s) differs across construction order: %v vs %v", key, sa, sb)
+		}
+	}
+}
+
+// TestRingMinimalRemapping is the consistent-hashing contract: adding or
+// removing one backend of N moves at most ~K/N of K digests (with slack
+// for virtual-node variance), and every key that moves under an addition
+// moves TO the new backend (no collateral shuffling).
+func TestRingMinimalRemapping(t *testing.T) {
+	const K = 4000
+	keys := digestSet(K)
+	for _, n := range []int{2, 3, 5, 8} {
+		addrs := addrList(n)
+		before := NewRing(addrs, 0)
+
+		// Add one backend: expected movement K/(n+1).
+		grown := NewRing(append(addrList(n), "10.0.1.99:8080"), 0)
+		moved := 0
+		for _, key := range keys {
+			a, _ := before.Owner(key)
+			b, _ := grown.Owner(key)
+			if a != b {
+				moved++
+				if b != "10.0.1.99:8080" {
+					t.Fatalf("n=%d add: key %s moved %s -> %s, not to the new backend", n, key, a, b)
+				}
+			}
+		}
+		expect := K / (n + 1)
+		if moved > expect*2 {
+			t.Errorf("n=%d add: %d/%d keys moved, want ~%d (≤%d)", n, moved, K, expect, expect*2)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d add: new backend received no keys", n)
+		}
+
+		// Remove one backend: only its keys move.
+		shrunk := NewRing(addrs[:n-1], 0)
+		lost := addrs[n-1]
+		moved = 0
+		for _, key := range keys {
+			a, _ := before.Owner(key)
+			b, _ := shrunk.Owner(key)
+			if a != b {
+				moved++
+				if a != lost {
+					t.Fatalf("n=%d remove: key %s moved %s -> %s though %s was removed", n, key, a, b, lost)
+				}
+			}
+		}
+		expect = K / n
+		if moved > expect*2 {
+			t.Errorf("n=%d remove: %d/%d keys moved, want ~%d (≤%d)", n, moved, K, expect, expect*2)
+		}
+	}
+}
+
+// TestRingSeqFailoverOrder checks Seq: owner first, all backends covered
+// exactly once, and the tail is stable — the failover target for a key is
+// as deterministic as its owner.
+func TestRingSeqFailoverOrder(t *testing.T) {
+	addrs := addrList(4)
+	r := NewRing(addrs, 0)
+	for _, key := range digestSet(200) {
+		seq := r.Seq(key)
+		if len(seq) != len(addrs) {
+			t.Fatalf("Seq(%s) covers %d backends, want %d: %v", key, len(seq), len(addrs), seq)
+		}
+		owner, _ := r.Owner(key)
+		if seq[0] != owner {
+			t.Fatalf("Seq(%s)[0] = %s, owner %s", key, seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, a := range seq {
+			if seen[a] {
+				t.Fatalf("Seq(%s) repeats %s: %v", key, a, seq)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+// TestRingBalance bounds the load skew of the virtual-node scheme: with
+// 128 replicas no backend should own more than ~2x its fair share.
+func TestRingBalance(t *testing.T) {
+	const K = 8000
+	addrs := addrList(4)
+	r := NewRing(addrs, 0)
+	counts := map[string]int{}
+	for _, key := range digestSet(K) {
+		owner, _ := r.Owner(key)
+		counts[owner]++
+	}
+	fair := K / len(addrs)
+	for addr, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("backend %s owns %d/%d keys (fair share %d)", addr, c, K, fair)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle pins the degenerate cases.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if seq := empty.Seq("k"); seq != nil {
+		t.Fatalf("empty ring Seq = %v", seq)
+	}
+	one := NewRing([]string{"a:1"}, 0)
+	if owner, ok := one.Owner("k"); !ok || owner != "a:1" {
+		t.Fatalf("single ring Owner = %q, %v", owner, ok)
+	}
+}

@@ -1,0 +1,596 @@
+package router
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/metrics"
+	"repro/internal/service"
+)
+
+// BackendHeader names the response header carrying the backend that
+// served a proxied request — the cluster smoke test (and any operator
+// with curl -i) uses it to observe digest affinity directly.
+const BackendHeader = "X-Wlopt-Backend"
+
+// Config configures the router front end.
+type Config struct {
+	// Pool configures the backend set (addresses, probing, admission).
+	Pool PoolConfig
+	// MaxBody bounds submit bodies; <=0 selects 1 MiB.
+	MaxBody int64
+	// Version and Addr are reported on /healthz (Version "" selects
+	// api.ServerVersion).
+	Version string
+	Addr    string
+	// Registry receives the router's wloptr_* metrics (nil creates one).
+	Registry *metrics.Registry
+	// JobMapSize bounds the job-ID → backend affinity map (<=0: 65536).
+	// Entries beyond the bound evict FIFO; lookups for evicted jobs fall
+	// back to fanning out across the pool.
+	JobMapSize int
+	// Logf, when set, receives health-transition log lines.
+	Logf func(format string, args ...any)
+}
+
+// Router is the sharded serving tier's HTTP front end. It speaks the same
+// /v1 wire API as a wloptd backend — clients cannot tell the difference —
+// and routes each submission to the backend owning its spec digest on the
+// consistent-hash ring, so repeat submissions and option sweeps land on
+// already-warm plan caches. Reads follow the job-ID affinity map (with a
+// pool-wide fan-out fallback), list fans in across every healthy backend,
+// and watch streams proxy hop by hop with the same SSE frames.
+type Router struct {
+	cfg   Config
+	pool  *Pool
+	reg   *metrics.Registry
+	jobs  *jobMap
+	start time.Time
+}
+
+// New builds the router and its pool. Call Start to begin health probing
+// and Handler (or Mount) for the HTTP surface; Close to stop.
+func New(cfg Config) *Router {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.Version == "" {
+		cfg.Version = api.ServerVersion
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.New()
+	}
+	if cfg.JobMapSize <= 0 {
+		cfg.JobMapSize = 65536
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		jobs:  newJobMap(cfg.JobMapSize),
+		start: time.Now(),
+	}
+	pc := cfg.Pool
+	pc.Logf = cfg.Logf
+	userEject, userReadmit := pc.OnEject, pc.OnReadmit
+	pc.OnEject = func(addr string, reason error) {
+		rt.reg.Counter("wloptr_ejections_total", "Backends ejected from the pool.", "backend", addr).Inc()
+		if userEject != nil {
+			userEject(addr, reason)
+		}
+	}
+	pc.OnReadmit = func(addr string) {
+		rt.reg.Counter("wloptr_readmissions_total", "Backends readmitted to the pool.", "backend", addr).Inc()
+		if userReadmit != nil {
+			userReadmit(addr)
+		}
+	}
+	rt.pool = NewPool(pc)
+	for _, addr := range rt.pool.Ring().Addrs() {
+		addr := addr
+		rt.reg.GaugeFunc("wloptr_backend_healthy",
+			"1 if the backend is admitted, 0 if ejected.",
+			func() float64 {
+				if rt.pool.Healthy(addr) {
+					return 1
+				}
+				return 0
+			}, "backend", addr)
+		rt.reg.GaugeFunc("wloptr_backend_inflight",
+			"Router-side outstanding requests per backend.",
+			func() float64 { return float64(rt.pool.InFlight(addr)) }, "backend", addr)
+	}
+	return rt
+}
+
+// Pool exposes the router's backend pool (tests, embedders).
+func (rt *Router) Pool() *Pool { return rt.pool }
+
+// Start launches health probing; Close stops it.
+func (rt *Router) Start() { rt.pool.Start() }
+func (rt *Router) Close() { rt.pool.Close() }
+
+// Mount attaches the wire API to the mux.
+func (rt *Router) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", rt.instrument("healthz", rt.health))
+	mux.HandleFunc("GET /v1/systems", rt.instrument("systems", rt.systems))
+	mux.HandleFunc("POST /v1/jobs", rt.instrument("submit", rt.submit))
+	mux.HandleFunc("GET /v1/jobs", rt.instrument("list", rt.list))
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.instrument("get", rt.get))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.instrument("cancel", rt.cancel))
+	mux.Handle("GET /metrics", rt.reg.Handler())
+}
+
+// Handler returns a fresh mux with the router mounted.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	rt.Mount(mux)
+	return mux
+}
+
+// ShardKey computes the consistent-hash routing key for a submission:
+// the spec content digest for inline specs (format-insensitive — two
+// spellings of the same system route identically), or the registry name
+// for named submissions. Everything that shares a key shares plans, so
+// it belongs on the same backend.
+func ShardKey(req service.Request) (string, error) {
+	if req.System != "" {
+		return "system:" + req.System, nil
+	}
+	d, err := req.Spec.Digest()
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", service.ErrBadSpec, err)
+	}
+	return d, nil
+}
+
+func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, rt.cfg.MaxBody)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", service.ErrBadRequest, err))
+		return
+	}
+	// Parse before proxying: a bad spec is rejected at the edge with full
+	// line/col detail, and a good one yields the shard key.
+	req, err := api.ParseSubmitBody(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	key, err := ShardKey(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	var sawBusy bool
+	for _, addr := range rt.pool.Ring().Seq(key) {
+		cl, release, err := rt.pool.Acquire(addr)
+		if errors.Is(err, ErrBackendBusy) {
+			// The digest's owner is healthy but saturated. Don't spill to
+			// the next backend — that would rebuild its plans elsewhere and
+			// split the cache — push back on the client instead.
+			sawBusy = true
+			break
+		}
+		if err != nil {
+			continue // ejected: fail over along the ring
+		}
+		rt.reg.Counter("wloptr_proxy_requests_total", "Requests proxied per backend.", "backend", addr).Inc()
+		info, status, err := cl.SubmitBody(r.Context(), body)
+		if err != nil {
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) {
+				// The backend answered: its verdict is authoritative
+				// (queue_full, bad options, ...) — propagate, don't spill.
+				release(nil)
+				if apiErr.Code == api.CodeQueueFull {
+					rt.rejected("backend_queue_full")
+				}
+				w.Header().Set(BackendHeader, addr)
+				api.WriteError(w, apiErr)
+				return
+			}
+			// Transport failure: eject and try the next ring position.
+			rt.reg.Counter("wloptr_proxy_failures_total", "Transport-level proxy failures per backend.", "backend", addr).Inc()
+			release(err)
+			continue
+		}
+		release(nil)
+		rt.jobs.put(info.ID, addr)
+		w.Header().Set(BackendHeader, addr)
+		writeJSON(w, status, info)
+		return
+	}
+	if sawBusy {
+		rt.rejected("router_inflight_full")
+		api.WriteError(w, &api.Error{
+			Code:        api.CodeQueueFull,
+			Message:     "shard owner at in-flight capacity",
+			Status:      http.StatusTooManyRequests,
+			RetryAfterS: 1,
+		})
+		return
+	}
+	rt.rejected("no_backend")
+	api.WriteError(w, &api.Error{
+		Code:    api.CodeNoBackend,
+		Message: "no healthy backend for shard",
+		Status:  http.StatusServiceUnavailable,
+	})
+}
+
+func (rt *Router) rejected(reason string) {
+	rt.reg.Counter("wloptr_rejected_total", "Requests rejected by the router.", "reason", reason).Inc()
+}
+
+// locate finds the backend holding a job: the affinity map first, then a
+// fan-out probe across healthy backends (map entry evicted, or the job
+// predates this router instance).
+func (rt *Router) locate(r *http.Request, id string) (string, *api.Client, error) {
+	if addr, ok := rt.jobs.get(id); ok && rt.pool.Healthy(addr) {
+		return addr, rt.pool.Client(addr), nil
+	}
+	var lastErr error = service.ErrNotFound
+	for _, addr := range rt.pool.Ring().Addrs() {
+		if !rt.pool.Healthy(addr) {
+			continue
+		}
+		cl := rt.pool.Client(addr)
+		if _, err := cl.Job(r.Context(), id); err != nil {
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) {
+				continue // this backend doesn't know the job
+			}
+			rt.pool.ReportFailure(addr, err)
+			lastErr = err
+			continue
+		}
+		rt.jobs.put(id, addr)
+		return addr, cl, nil
+	}
+	return "", nil, lastErr
+}
+
+func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	addr, cl, err := rt.locate(r, id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if r.URL.Query().Get("watch") != "" {
+		rt.watch(w, r, addr, cl, id)
+		return
+	}
+	info, err := cl.Job(r.Context(), id)
+	if err != nil {
+		rt.proxyError(w, addr, err)
+		return
+	}
+	w.Header().Set(BackendHeader, addr)
+	writeJSON(w, http.StatusOK, info)
+}
+
+// watch proxies the backend's SSE stream hop by hop: each event the
+// backend emits is re-framed with the same api.WriteSSE both tiers use,
+// so a client watching through the router sees byte-identical frames.
+func (rt *Router) watch(w http.ResponseWriter, r *http.Request, addr string, cl *api.Client, id string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	started := false
+	err := cl.Watch(r.Context(), id, func(ev service.Event) bool {
+		if !started {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+			w.Header().Set(BackendHeader, addr)
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		if api.WriteSSE(w, ev) != nil {
+			return false // client hung up
+		}
+		flusher.Flush()
+		return true
+	})
+	if err != nil && !started {
+		rt.proxyError(w, addr, err)
+	}
+}
+
+func (rt *Router) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	addr, cl, err := rt.locate(r, id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := cl.Cancel(r.Context(), id)
+	if err != nil {
+		rt.proxyError(w, addr, err)
+		return
+	}
+	w.Header().Set(BackendHeader, addr)
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (rt *Router) systems(w http.ResponseWriter, r *http.Request) {
+	var lastErr error = ErrNoBackend
+	for _, addr := range rt.pool.Ring().Addrs() {
+		if !rt.pool.Healthy(addr) {
+			continue
+		}
+		list, err := rt.pool.Client(addr).Systems(r.Context())
+		if err != nil {
+			var apiErr *api.Error
+			if !errors.As(err, &apiErr) {
+				rt.pool.ReportFailure(addr, err)
+			}
+			lastErr = err
+			continue
+		}
+		w.Header().Set(BackendHeader, addr)
+		writeJSON(w, http.StatusOK, list)
+		return
+	}
+	rt.proxyError(w, "", lastErr)
+}
+
+// listCursor is the router's composite pagination cursor: one backend
+// cursor per address, serialized as base64(JSON). Each backend paginates
+// by its own monotonic job sequence; the router merges the streams.
+type listCursor map[string]string
+
+func encodeCursor(c listCursor) string {
+	if len(c) == 0 {
+		return ""
+	}
+	data, _ := json.Marshal(c)
+	return base64.RawURLEncoding.EncodeToString(data)
+}
+
+func decodeCursor(raw string) (listCursor, error) {
+	if raw == "" {
+		return listCursor{}, nil
+	}
+	data, err := base64.RawURLEncoding.DecodeString(raw)
+	if err == nil {
+		var c listCursor
+		if err = json.Unmarshal(data, &c); err == nil {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: bad cursor %q", service.ErrBadRequest, raw)
+}
+
+// list fans in GET /v1/jobs across every healthy backend: each backend
+// returns one page from its own cursor; the router k-way merges them by
+// submission time and returns the first `limit`, with a composite cursor
+// recording how far into each backend's stream it consumed.
+func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
+	q, err := api.ParseListQuery(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cursors, err := decodeCursor(q.Cursor)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	limit := q.Limit
+	if limit <= 0 {
+		limit = service.DefaultListLimit
+	}
+	if limit > service.MaxListLimit {
+		limit = service.MaxListLimit
+	}
+
+	type stream struct {
+		addr string
+		jobs []*service.JobInfo
+		more bool // backend has pages beyond what it returned
+		used int  // jobs consumed by the merge
+	}
+	var streams []*stream
+	for _, addr := range rt.pool.Ring().Addrs() {
+		if !rt.pool.Healthy(addr) {
+			continue
+		}
+		page, err := rt.pool.Client(addr).Jobs(r.Context(), service.ListQuery{
+			Limit:  limit,
+			Cursor: cursors[addr],
+			State:  q.State,
+		})
+		if err != nil {
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) {
+				rt.proxyError(w, addr, err) // e.g. bad state filter: propagate
+				return
+			}
+			rt.pool.ReportFailure(addr, err)
+			continue
+		}
+		streams = append(streams, &stream{addr: addr, jobs: page.Jobs, more: page.NextCursor != ""})
+	}
+
+	// K-way merge by submission time (job IDs are per-backend, so time is
+	// the only cluster-wide order there is).
+	merged := make([]*service.JobInfo, 0, limit)
+	for len(merged) < limit {
+		best := -1
+		for i, s := range streams {
+			if s.used >= len(s.jobs) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a, b := s.jobs[s.used], streams[best].jobs[streams[best].used]
+			if a.Submitted.Before(b.Submitted) ||
+				(a.Submitted.Equal(b.Submitted) && a.ID < b.ID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s := streams[best]
+		merged = append(merged, s.jobs[s.used])
+		s.used++
+	}
+
+	next := listCursor{}
+	for k, v := range cursors {
+		next[k] = v
+	}
+	more := false
+	for _, s := range streams {
+		if s.used > 0 {
+			next[s.addr] = s.jobs[s.used-1].ID
+		}
+		if s.used < len(s.jobs) || s.more {
+			more = true
+		}
+	}
+	page := service.JobPage{Jobs: merged}
+	if more {
+		page.NextCursor = encodeCursor(next)
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+func (rt *Router) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:   "ok",
+		Version:  rt.cfg.Version,
+		UptimeS:  time.Since(rt.start).Seconds(),
+		Addr:     rt.cfg.Addr,
+		Backends: rt.pool.Healthz(),
+	})
+}
+
+// proxyError relays a backend failure: API errors pass through verbatim
+// (envelope, status, Retry-After), transport errors become 502-shaped
+// internal errors.
+func (rt *Router) proxyError(w http.ResponseWriter, addr string, err error) {
+	if addr != "" {
+		w.Header().Set(BackendHeader, addr)
+	}
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		api.WriteError(w, apiErr)
+		return
+	}
+	writeErr(w, err)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	e := api.ErrorFor(err)
+	if errors.Is(err, ErrNoBackend) {
+		e.Code, e.Status = api.CodeNoBackend, http.StatusServiceUnavailable
+	}
+	api.WriteError(w, e)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}
+
+// instrument wraps a handler with the wloptr_ request counter and latency
+// histogram under the given route label.
+func (rt *Router) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := rt.reg.Histogram("wloptr_http_request_duration_seconds",
+		"Router HTTP request latency by route.", nil, "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		rt.reg.Counter("wloptr_http_requests_total",
+			"Router HTTP requests by route and status.",
+			"route", route, "code", strconv.Itoa(code)).Inc()
+		hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusWriter captures the response code, passing Flush through so the
+// SSE watch proxy keeps streaming behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// jobMap is the bounded job-ID → backend affinity map, evicting FIFO.
+// Reads for evicted entries fall back to the fan-out path in locate, so
+// eviction costs a probe round, never correctness.
+type jobMap struct {
+	mu    sync.Mutex
+	m     map[string]string
+	order []string
+	next  int
+}
+
+func newJobMap(size int) *jobMap {
+	return &jobMap{m: make(map[string]string, size), order: make([]string, size)}
+}
+
+func (jm *jobMap) put(id, addr string) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if _, ok := jm.m[id]; !ok {
+		if old := jm.order[jm.next]; old != "" {
+			delete(jm.m, old)
+		}
+		jm.order[jm.next] = id
+		jm.next = (jm.next + 1) % len(jm.order)
+	}
+	jm.m[id] = addr
+}
+
+func (jm *jobMap) get(id string) (string, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	addr, ok := jm.m[id]
+	return addr, ok
+}

@@ -101,11 +101,15 @@ type Event struct {
 // job is the manager-internal state; all mutable fields are guarded by mu.
 type job struct {
 	id      string
+	seq     int64 // minting sequence; orders the history for cursors
 	sysName string
 	sp      *spec.Spec
 	opts    spec.Options // defaulted
 	digest  string
 	key     string // digest + options fingerprint
+	// onDone, when set, observes the terminal snapshot exactly once
+	// (Config.OnJobDone); invoked with no locks held.
+	onDone func(*JobInfo)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -188,15 +192,20 @@ func (j *job) publishLocked(ev Event) {
 // setState transitions the job and publishes a state event.
 func (j *job) setState(s JobState) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.setStateLocked(s)
+	became := j.setStateLocked(s)
+	j.mu.Unlock()
+	if became {
+		j.notifyDone()
+	}
 }
 
-// setStateLocked is setState with j.mu already held. Transitions out of a
-// terminal state are ignored, so racing finishers cannot double-publish.
-func (j *job) setStateLocked(s JobState) {
+// setStateLocked is setState with j.mu already held; it reports whether
+// this call made the job terminal (the caller then fires notifyDone once
+// the lock is released). Transitions out of a terminal state are ignored,
+// so racing finishers cannot double-publish.
+func (j *job) setStateLocked(s JobState) bool {
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.state = s
 	switch s {
@@ -206,6 +215,16 @@ func (j *job) setStateLocked(s JobState) {
 		j.finished = time.Now()
 	}
 	j.publishLocked(Event{Type: "state", State: s, Terminal: s.Terminal()})
+	return s.Terminal()
+}
+
+// notifyDone delivers the terminal snapshot to the onDone hook. Callers
+// guarantee exactly one invocation (the single setStateLocked call that
+// returned true) and that no locks are held.
+func (j *job) notifyDone() {
+	if j.onDone != nil {
+		j.onDone(j.snapshot())
+	}
 }
 
 // begin atomically moves a queued job to running; it reports false when
@@ -213,16 +232,21 @@ func (j *job) setStateLocked(s JobState) {
 // worker then skips it.
 func (j *job) begin() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != JobQueued {
+		j.mu.Unlock()
 		return false
 	}
 	if j.ctx.Err() != nil {
-		j.setStateLocked(JobCancelled)
+		became := j.setStateLocked(JobCancelled)
+		j.mu.Unlock()
 		j.cancel()
+		if became {
+			j.notifyDone()
+		}
 		return false
 	}
 	j.setStateLocked(JobRunning)
+	j.mu.Unlock()
 	return true
 }
 
@@ -233,11 +257,15 @@ func (j *job) begin() bool {
 // its next step.
 func (j *job) cancelNow() {
 	j.mu.Lock()
+	became := false
 	if j.state == JobQueued {
-		j.setStateLocked(JobCancelled)
+		became = j.setStateLocked(JobCancelled)
 	}
 	j.mu.Unlock()
 	j.cancel()
+	if became {
+		j.notifyDone()
+	}
 }
 
 // progress records one search step and publishes it.

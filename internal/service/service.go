@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -59,6 +61,15 @@ type Config struct {
 	// transparently on miss or corruption; writes are write-through after
 	// each completed job. nil keeps the manager fully in-memory.
 	Store *store.Store
+	// NodeID, when non-empty, prefixes job IDs ("<node>-j000001") so IDs
+	// minted by different backends never collide behind a router that
+	// fans requests across a fleet. Empty keeps the bare "j000001" form.
+	NodeID string
+	// OnJobDone, when non-nil, is called once per job as it reaches a
+	// terminal state, with the job's final snapshot. It runs outside the
+	// manager and job locks on whichever goroutine drove the transition —
+	// the API layer uses it to feed latency histograms; keep it fast.
+	OnJobDone func(*JobInfo)
 }
 
 func (c Config) withDefaults() Config {
@@ -100,13 +111,25 @@ type Request struct {
 var (
 	// ErrBadRequest wraps submission validation failures (HTTP 400).
 	ErrBadRequest = errors.New("bad request")
+	// ErrBadSpec wraps spec parse/validation failures specifically; it
+	// matches ErrBadRequest too, so status mapping is unchanged, but the
+	// API layer can report the machine-readable bad_spec code.
+	ErrBadSpec error = badSpecError{}
 	// ErrNotFound marks unknown job IDs and system names (HTTP 404).
 	ErrNotFound = errors.New("not found")
-	// ErrQueueFull means the pending queue is at capacity (HTTP 503).
+	// ErrQueueFull means the pending queue is at capacity (HTTP 429,
+	// with Retry-After — the service sheds load instead of buffering).
 	ErrQueueFull = errors.New("queue full")
 	// ErrClosed means the manager is shutting down (HTTP 503).
 	ErrClosed = errors.New("service closed")
 )
+
+// badSpecError is ErrBadSpec's concrete type: a distinct sentinel that
+// also answers errors.Is(err, ErrBadRequest).
+type badSpecError struct{}
+
+func (badSpecError) Error() string        { return "bad spec" }
+func (badSpecError) Is(target error) bool { return target == ErrBadRequest }
 
 // Stats is a point-in-time census, exposed on /healthz.
 type Stats struct {
@@ -116,6 +139,13 @@ type Stats struct {
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
 	Cancelled int   `json:"cancelled"`
+	// QueueLen and QueueCap expose the pending-queue occupancy and bound —
+	// the admission-control signal a router needs to decide whether this
+	// backend can absorb another job before it answers 429.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	// Workers is the configured concurrent-job bound.
+	Workers int `json:"workers"`
 	// CacheHits counts submissions answered from the result cache — the
 	// in-memory LRU or the persistent store.
 	CacheHits int64 `json:"cache_hits"`
@@ -259,8 +289,13 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 	}
 	m.seq++
 	m.submitted++
+	id := fmt.Sprintf("j%06d", m.seq)
+	if m.cfg.NodeID != "" {
+		id = m.cfg.NodeID + "-" + id
+	}
 	j := &job{
-		id:        fmt.Sprintf("j%06d", m.seq),
+		id:        id,
+		seq:       m.seq,
 		sysName:   sysName,
 		sp:        sp,
 		opts:      opts,
@@ -269,6 +304,7 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 		state:     JobQueued,
 		submitted: time.Now(),
 		subs:      make(map[int]chan Event),
+		onDone:    m.cfg.OnJobDone,
 	}
 	j.ctx, j.cancel = context.WithCancel(m.baseCtx)
 	// Publish the initial state before the job is visible to workers or
@@ -389,7 +425,7 @@ func (m *Manager) resolve(req Request) (string, *spec.Spec, spec.Options, string
 	if req.Spec != nil {
 		digest, err := req.Spec.Digest() // validates the spec as a side effect
 		if err != nil {
-			return "", nil, zero, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+			return "", nil, zero, "", fmt.Errorf("%w: %w", ErrBadSpec, err)
 		}
 		return req.Spec.Name, req.Spec, opts, digest, nil
 	}
@@ -723,6 +759,97 @@ func (m *Manager) List() []*JobInfo {
 	return out
 }
 
+// Pagination bounds for ListPage. A router fanning N backends into one
+// listing multiplies every page it requests by N, so the ceiling is firm.
+const (
+	// DefaultListLimit applies when ListQuery.Limit is unset.
+	DefaultListLimit = 100
+	// MaxListLimit clamps explicit limits.
+	MaxListLimit = 1000
+)
+
+// ListQuery selects one page of the retained job history.
+type ListQuery struct {
+	// Limit bounds the page size; <= 0 selects DefaultListLimit, values
+	// above MaxListLimit are clamped.
+	Limit int
+	// Cursor resumes after the job with this ID (as returned in
+	// JobPage.NextCursor). Empty starts from the oldest retained job.
+	Cursor string
+	// State, when non-empty, keeps only jobs currently in that state.
+	State JobState
+}
+
+// JobPage is one page of job snapshots in submission order.
+type JobPage struct {
+	Jobs []*JobInfo `json:"jobs"`
+	// NextCursor resumes the listing after the last job of this page;
+	// empty when the listing is exhausted.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// ListPage returns jobs after the cursor in submission order, filtered by
+// state, up to the limit. Cursors are job IDs; a cursor whose job has been
+// evicted from the history still works, because IDs order by their minting
+// sequence.
+func (m *Manager) ListPage(q ListQuery) (*JobPage, error) {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultListLimit
+	}
+	if limit > MaxListLimit {
+		limit = MaxListLimit
+	}
+	switch q.State {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCancelled:
+	default:
+		return nil, fmt.Errorf("%w: unknown state %q", ErrBadRequest, q.State)
+	}
+	after := int64(0)
+	if q.Cursor != "" {
+		seq, err := seqOfID(q.Cursor)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad cursor %q", ErrBadRequest, q.Cursor)
+		}
+		after = seq
+	}
+
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok && j.seq > after {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+
+	page := &JobPage{Jobs: []*JobInfo{}}
+	for _, j := range jobs {
+		info := j.snapshot()
+		if q.State != "" && info.State != q.State {
+			continue
+		}
+		if len(page.Jobs) == limit {
+			// One more match exists beyond the full page: resume after the
+			// last included job.
+			page.NextCursor = page.Jobs[limit-1].ID
+			return page, nil
+		}
+		page.Jobs = append(page.Jobs, info)
+	}
+	return page, nil
+}
+
+// seqOfID recovers the minting sequence from a job ID ("j000042" or
+// "<node>-j000042"): the digits after the final 'j'.
+func seqOfID(id string) (int64, error) {
+	i := strings.LastIndexByte(id, 'j')
+	if i < 0 || i+1 == len(id) {
+		return 0, fmt.Errorf("no sequence in %q", id)
+	}
+	return strconv.ParseInt(id[i+1:], 10, 64)
+}
+
 // Cancel requests cooperative cancellation: a queued job terminates
 // immediately (the worker that eventually pops it skips it), a running one
 // stops at its next greedy step with the best-so-far result. Cancelling a
@@ -785,6 +912,9 @@ func (m *Manager) Stats() Stats {
 		Submitted:      m.submitted,
 		CacheHits:      m.cacheHits,
 		Coalesced:      m.coalesced,
+		QueueLen:       len(m.queue),
+		QueueCap:       m.cfg.QueueSize,
+		Workers:        m.cfg.Workers,
 		ResultCacheLen: m.results.len(),
 		GraphCacheLen:  m.graphs.len(),
 		PlanBuilds:     m.eng.PlanBuilds(),

@@ -216,7 +216,7 @@ func Parse(data []byte) (*Spec, error) {
 	}
 	// Trailing garbage after the document is a structural error too.
 	if dec.More() {
-		return nil, fmt.Errorf("spec: %s: unexpected data after document", atOffset(data, dec.InputOffset()))
+		return nil, atOffset(data, dec.InputOffset(), "unexpected data after document")
 	}
 	if err := sp.Validate(); err != nil {
 		return nil, err
@@ -224,19 +224,30 @@ func Parse(data []byte) (*Spec, error) {
 	return &sp, nil
 }
 
+// PosError is a parse error that carries the 1-based line and column of
+// the offending byte, so API layers can report the position
+// machine-readably (the wire error envelope's bad_spec code) instead of
+// scraping it back out of the message.
+type PosError struct {
+	Line, Col int
+	Msg       string // the full message, position included
+}
+
+func (e *PosError) Error() string { return e.Msg }
+
 // posError rewrites encoding/json errors with a line:column position.
 func posError(data []byte, err error) error {
 	switch e := err.(type) {
 	case *json.SyntaxError:
-		return fmt.Errorf("spec: %s: %v", atOffset(data, e.Offset), err)
+		return atOffset(data, e.Offset, fmt.Sprintf("%v", err))
 	case *json.UnmarshalTypeError:
-		return fmt.Errorf("spec: %s: cannot unmarshal %s into %s", atOffset(data, e.Offset), e.Value, e.Field)
+		return atOffset(data, e.Offset, fmt.Sprintf("cannot unmarshal %s into %s", e.Value, e.Field))
 	}
 	return fmt.Errorf("spec: %v", err)
 }
 
-// atOffset renders a byte offset as "line L, column C" (1-based).
-func atOffset(data []byte, off int64) string {
+// atOffset builds a PosError for a byte offset (1-based line/column).
+func atOffset(data []byte, off int64, msg string) *PosError {
 	if off > int64(len(data)) {
 		off = int64(len(data))
 	}
@@ -249,7 +260,11 @@ func atOffset(data []byte, off int64) string {
 			col++
 		}
 	}
-	return fmt.Sprintf("line %d, column %d", line, col)
+	return &PosError{
+		Line: line,
+		Col:  col,
+		Msg:  fmt.Sprintf("spec: line %d, column %d: %s", line, col, msg),
+	}
 }
 
 // Validate checks the spec semantically, normalizing Version, and verifies
