@@ -31,6 +31,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -177,7 +178,8 @@ func oneJob(ctx context.Context, cl *api.Client, cfg runConfig, i int) (time.Dur
 }
 
 func errClass(err error) string {
-	if apiErr, ok := err.(*api.Error); ok {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) { // errors.As: Watch/Wait wrap API errors with %w
 		return apiErr.Code
 	}
 	return "transport"

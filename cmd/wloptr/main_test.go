@@ -324,6 +324,87 @@ func TestRouterListFanIn(t *testing.T) {
 	}
 }
 
+// TestRouterListPartial pins the degraded-listing contract: when a pooled
+// backend is ejected, the fan-in page must say so (`partial`) and must
+// keep a resumable cursor, instead of silently presenting the surviving
+// backends' jobs as the complete listing — a paginating client that
+// terminated on the empty cursor would permanently miss the dead shard's
+// tail.
+func TestRouterListPartial(t *testing.T) {
+	ctx := context.Background()
+	cl, rt, backends := newCluster(t, 3, service.Config{})
+	registry, err := systems.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	liveJobs := map[string]bool{}
+	dead := backends[0]
+	for _, sys := range registry {
+		info, err := cl.Submit(ctx, service.Request{System: sys.Name(), Options: testOptions("descent", 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Wait(ctx, info.ID); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(info.ID, dead.node+"-") {
+			liveJobs[info.ID] = true
+		}
+	}
+
+	// A healthy pool lists completely: no partial flag.
+	page, err := cl.Jobs(ctx, service.ListQuery{Limit: service.MaxListLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Partial {
+		t.Fatal("healthy pool returned a partial page")
+	}
+
+	// Kill one backend and wait for the probes to eject it.
+	dead.ts.CloseClientConnections()
+	dead.ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Pool().Healthy(dead.url) {
+		if time.Now().After(deadline) {
+			t.Fatal("dead backend never ejected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	page, err = cl.Jobs(ctx, service.ListQuery{Limit: service.MaxListLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !page.Partial {
+		t.Fatal("listing with an ejected backend not flagged partial")
+	}
+	if page.NextCursor == "" {
+		t.Fatal("partial page dropped its cursor — clients would terminate early")
+	}
+	got := map[string]bool{}
+	for _, j := range page.Jobs {
+		got[j.ID] = true
+	}
+	if !reflect.DeepEqual(got, liveJobs) {
+		t.Fatalf("partial page jobs:\ngot  %v\nwant %v", keys(got), keys(liveJobs))
+	}
+
+	// Resuming the partial cursor must not resurface consumed jobs, and
+	// must stay partial while the backend is out.
+	page, err = cl.Jobs(ctx, service.ListQuery{Limit: service.MaxListLimit, Cursor: page.NextCursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !page.Partial {
+		t.Fatal("resumed page not flagged partial")
+	}
+	if len(page.Jobs) != 0 {
+		t.Fatalf("resumed page repeated %d jobs", len(page.Jobs))
+	}
+}
+
 func keys(m map[string]bool) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

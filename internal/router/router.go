@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -201,6 +202,15 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 				api.WriteError(w, apiErr)
 				return
 			}
+			// Client-side failure (disconnect or deadline mid-proxy): the
+			// backend is blameless — return the slot without ejecting, and
+			// skip the ring walk; retrying for a vanished client would only
+			// duplicate work.
+			if clientCaused(r, err) {
+				release(nil)
+				writeErr(w, err)
+				return
+			}
 			// Transport failure: eject and try the next ring position.
 			rt.reg.Counter("wloptr_proxy_failures_total", "Transport-level proxy failures per backend.", "backend", addr).Inc()
 			release(err)
@@ -234,12 +244,27 @@ func (rt *Router) rejected(reason string) {
 	rt.reg.Counter("wloptr_rejected_total", "Requests rejected by the router.", "reason", reason).Inc()
 }
 
+// clientCaused reports whether a proxied-call failure originated on the
+// client side of the router rather than at the backend. Proxied calls run
+// under the inbound request's context, so a client disconnect or deadline
+// collapses every in-flight call with context.Canceled — blaming the
+// backend for that would let one impatient client eject the shard owner,
+// and the failover walk would then eject the entire ring in one pass.
+func clientCaused(r *http.Request, err error) bool {
+	return r.Context().Err() != nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // locate finds the backend holding a job: the affinity map first, then a
 // fan-out probe across healthy backends (map entry evicted, or the job
-// predates this router instance).
-func (rt *Router) locate(r *http.Request, id string) (string, *api.Client, error) {
+// predates this router instance). When the fan-out path identified the
+// owner, the snapshot it fetched doing so is returned alongside, so get
+// needn't re-fetch; a nil info means the affinity map answered and no
+// snapshot was taken.
+func (rt *Router) locate(r *http.Request, id string) (string, *api.Client, *service.JobInfo, error) {
 	if addr, ok := rt.jobs.get(id); ok && rt.pool.Healthy(addr) {
-		return addr, rt.pool.Client(addr), nil
+		return addr, rt.pool.Client(addr), nil, nil
 	}
 	var lastErr error = service.ErrNotFound
 	for _, addr := range rt.pool.Ring().Addrs() {
@@ -247,24 +272,28 @@ func (rt *Router) locate(r *http.Request, id string) (string, *api.Client, error
 			continue
 		}
 		cl := rt.pool.Client(addr)
-		if _, err := cl.Job(r.Context(), id); err != nil {
+		info, err := cl.Job(r.Context(), id)
+		if err != nil {
 			var apiErr *api.Error
 			if errors.As(err, &apiErr) {
 				continue // this backend doesn't know the job
+			}
+			if clientCaused(r, err) {
+				return "", nil, nil, err // our client hung up: stop, blame nobody
 			}
 			rt.pool.ReportFailure(addr, err)
 			lastErr = err
 			continue
 		}
 		rt.jobs.put(id, addr)
-		return addr, cl, nil
+		return addr, cl, info, nil
 	}
-	return "", nil, lastErr
+	return "", nil, nil, lastErr
 }
 
 func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	addr, cl, err := rt.locate(r, id)
+	addr, cl, info, err := rt.locate(r, id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -273,10 +302,12 @@ func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
 		rt.watch(w, r, addr, cl, id)
 		return
 	}
-	info, err := cl.Job(r.Context(), id)
-	if err != nil {
-		rt.proxyError(w, addr, err)
-		return
+	if info == nil {
+		info, err = cl.Job(r.Context(), id)
+		if err != nil {
+			rt.proxyError(w, addr, err)
+			return
+		}
 	}
 	w.Header().Set(BackendHeader, addr)
 	writeJSON(w, http.StatusOK, info)
@@ -313,7 +344,7 @@ func (rt *Router) watch(w http.ResponseWriter, r *http.Request, addr string, cl 
 
 func (rt *Router) cancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	addr, cl, err := rt.locate(r, id)
+	addr, cl, _, err := rt.locate(r, id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -337,6 +368,10 @@ func (rt *Router) systems(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var apiErr *api.Error
 			if !errors.As(err, &apiErr) {
+				if clientCaused(r, err) {
+					writeErr(w, err)
+					return
+				}
 				rt.pool.ReportFailure(addr, err)
 			}
 			lastErr = err
@@ -354,10 +389,9 @@ func (rt *Router) systems(w http.ResponseWriter, r *http.Request) {
 // by its own monotonic job sequence; the router merges the streams.
 type listCursor map[string]string
 
+// encodeCursor never returns "" — even an empty map encodes ("e30"), so a
+// partial page keeps a resumable cursor when no stream was consumed yet.
 func encodeCursor(c listCursor) string {
-	if len(c) == 0 {
-		return ""
-	}
 	data, _ := json.Marshal(c)
 	return base64.RawURLEncoding.EncodeToString(data)
 }
@@ -406,8 +440,10 @@ func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
 		used int  // jobs consumed by the merge
 	}
 	var streams []*stream
+	skipped := false // pooled backends that could not be consulted
 	for _, addr := range rt.pool.Ring().Addrs() {
 		if !rt.pool.Healthy(addr) {
+			skipped = true
 			continue
 		}
 		page, err := rt.pool.Client(addr).Jobs(r.Context(), service.ListQuery{
@@ -421,7 +457,12 @@ func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
 				rt.proxyError(w, addr, err) // e.g. bad state filter: propagate
 				return
 			}
+			if clientCaused(r, err) {
+				writeErr(w, err)
+				return
+			}
 			rt.pool.ReportFailure(addr, err)
+			skipped = true
 			continue
 		}
 		streams = append(streams, &stream{addr: addr, jobs: page.Jobs, more: page.NextCursor != ""})
@@ -458,7 +499,11 @@ func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
 	for k, v := range cursors {
 		next[k] = v
 	}
-	more := false
+	// A skipped backend (ejected, or its fetch failed) still holds unread
+	// jobs this page cannot see: mark the page partial AND keep the cursor
+	// alive, so a paginating client neither terminates early nor mistakes
+	// the merged prefix for the complete listing.
+	more := skipped
 	for _, s := range streams {
 		if s.used > 0 {
 			next[s.addr] = s.jobs[s.used-1].ID
@@ -467,7 +512,7 @@ func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
 			more = true
 		}
 	}
-	page := service.JobPage{Jobs: merged}
+	page := service.JobPage{Jobs: merged, Partial: skipped}
 	if more {
 		page.NextCursor = encodeCursor(next)
 	}

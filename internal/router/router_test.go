@@ -1,0 +1,104 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stallBackend fakes a healthy-but-slow wloptd: /healthz answers
+// immediately, POST /v1/jobs signals receipt and then blocks until the
+// request is abandoned. It lets the test hold a proxied submit open while
+// the client side walks away.
+type stallBackend struct {
+	ts       *httptest.Server
+	received chan struct{} // one signal per POST /v1/jobs
+	release  chan struct{} // closed at cleanup: unblocks stalled handlers
+	posts    atomic.Int64
+}
+
+func newStallBackend(t *testing.T) *stallBackend {
+	t.Helper()
+	b := &stallBackend{received: make(chan struct{}, 16), release: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","version":"test","uptime_s":1,"addr":"stall"}`)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// Consume the body so the server starts its background read and can
+		// detect the router abandoning the connection (a real wloptd reads
+		// the body too — without this, r.Context() never fires on hang-up).
+		io.Copy(io.Discard, r.Body)
+		b.posts.Add(1)
+		b.received <- struct{}{}
+		select {
+		case <-r.Context().Done():
+		case <-b.release:
+		}
+	})
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	t.Cleanup(func() { close(b.release) }) // LIFO: unblock before Close waits
+	return b
+}
+
+// TestClientCancelDoesNotEject pins the passive-ejection rule: a client
+// that disconnects mid-submit must not get the shard owner ejected, and
+// must not trigger the failover walk — before the clientCaused guard, one
+// canceled request ejected the owner and then every other backend along
+// the ring, turning a single impatient client into a full-pool outage.
+func TestClientCancelDoesNotEject(t *testing.T) {
+	b1, b2 := newStallBackend(t), newStallBackend(t)
+	rt := New(Config{Pool: PoolConfig{Backends: []string{b1.ts.URL, b2.ts.URL}}})
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"system":"probe"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait until the owner backend is holding the proxied submit, then
+	// hang up the client.
+	select {
+	case <-b1.received:
+	case <-b2.received:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no backend received the submit")
+	}
+	cancel()
+	<-done
+	// Do returns as soon as the client-side cancel lands; give the router
+	// handler a beat to finish, so a buggy post-cancel ring walk (the very
+	// regression this test pins) cannot slip in after the assertions.
+	time.Sleep(100 * time.Millisecond)
+
+	// The whole point: neither the owner nor any failover candidate was
+	// ejected, and the submit was not retried along the ring.
+	for _, b := range []*stallBackend{b1, b2} {
+		if !rt.Pool().Healthy(b.ts.URL) {
+			t.Errorf("backend %s ejected by a client-side cancel", b.ts.URL)
+		}
+	}
+	if total := b1.posts.Load() + b2.posts.Load(); total != 1 {
+		t.Errorf("submit proxied %d times, want 1 (no ring walk for a vanished client)", total)
+	}
+}

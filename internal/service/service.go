@@ -786,6 +786,11 @@ type JobPage struct {
 	// NextCursor resumes the listing after the last job of this page;
 	// empty when the listing is exhausted.
 	NextCursor string `json:"next_cursor,omitempty"`
+	// Partial marks a page that could not consult every shard (a router
+	// fanning in with one or more backends ejected). Such a page always
+	// carries a NextCursor: retrying it after the pool heals recovers the
+	// missing shard's jobs. Single-node listings never set it.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // ListPage returns jobs after the cursor in submission order, filtered by
