@@ -26,6 +26,15 @@
 // the shape that exposes queueing collapse: when the tier can't keep up,
 // latency percentiles grow and queue_full rejections appear in the error
 // table instead of being hidden by back-pressure on the generator itself.
+//
+// With -retries > 1 the client rides out transient failures — 429
+// queue_full answers back off by the server's Retry-After hint (capped
+// by the per-job timeout) instead of landing in the error table, severed
+// watch streams reconnect, and the report gains a retries column so the
+// smoothing is visible rather than silent. The -fault-* flags inject
+// seeded transport faults (internal/fault) between the generator and the
+// tier, which is how the chaos smoke test drives a cluster through a
+// flaky network and still demands zero lost jobs.
 package main
 
 import (
@@ -35,12 +44,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -56,6 +67,14 @@ func main() {
 		width    = flag.Int("budget-width", 8, "budget_width optimizer option")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-job submit+wait timeout")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+
+		retries   = flag.Int("retries", 4, "max attempts per call (1 disables retries)")
+		retryBase = flag.Duration("retry-base", 100*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+
+		faultErrRate = flag.Float64("fault-error-rate", 0, "inject transport errors at this rate (0..1)")
+		faultLatRate = flag.Float64("fault-latency-rate", 0, "inject extra latency at this rate (0..1)")
+		faultLat     = flag.Duration("fault-latency", 50*time.Millisecond, "injected latency per hit")
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injection PRNG seed")
 	)
 	flag.Parse()
 
@@ -63,7 +82,20 @@ func main() {
 		Mode: *mode, Jobs: *n, Concurrency: *c, RateHz: *rate,
 		Distinct: *distinct, Salt: *salt, BudgetWidth: *width, JobTimeout: *timeout,
 	}
-	rep, err := run(context.Background(), api.NewClient(*target), cfg)
+	var hc *http.Client
+	if *faultErrRate > 0 || *faultLatRate > 0 {
+		hc = &http.Client{Transport: fault.NewTransport(fault.TransportConfig{
+			Seed:        *faultSeed,
+			ErrorRate:   *faultErrRate,
+			LatencyRate: *faultLatRate,
+			Latency:     *faultLat,
+		})}
+	}
+	cl := api.NewClient(*target, hc)
+	if *retries > 1 {
+		cl = cl.WithRetry(api.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase, Seed: *faultSeed})
+	}
+	rep, err := run(context.Background(), cl, cfg)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
@@ -90,11 +122,15 @@ type runConfig struct {
 
 // Report is the run summary.
 type Report struct {
-	Mode       string         `json:"mode"`
-	Target     string         `json:"target"`
-	Jobs       int            `json:"jobs"`
-	Completed  int            `json:"completed"`
-	CacheHits  int            `json:"cache_hits"`
+	Mode      string `json:"mode"`
+	Target    string `json:"target"`
+	Jobs      int    `json:"jobs"`
+	Completed int    `json:"completed"`
+	CacheHits int    `json:"cache_hits"`
+	// Retries counts client-level retry attempts across the whole run
+	// (re-issued calls plus watch reconnects) — transient faults the
+	// retry policy absorbed instead of surfacing in Errors.
+	Retries    int64          `json:"retries"`
 	Errors     map[string]int `json:"errors,omitempty"`
 	DurationS  float64        `json:"duration_s"`
 	Throughput float64        `json:"throughput_jobs_per_s"`
@@ -107,6 +143,7 @@ type Report struct {
 func (r *Report) String() string {
 	s := fmt.Sprintf("loadgen: %s loop against %s\n", r.Mode, r.Target)
 	s += fmt.Sprintf("  jobs        %d submitted, %d completed, %d cache hits\n", r.Jobs, r.Completed, r.CacheHits)
+	s += fmt.Sprintf("  retries     %d\n", r.Retries)
 	s += fmt.Sprintf("  wall        %.2fs  (%.1f jobs/s)\n", r.DurationS, r.Throughput)
 	s += fmt.Sprintf("  latency     p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n", r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
 	if len(r.Errors) > 0 {
@@ -257,6 +294,7 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 		Mode:      cfg.Mode,
 		Target:    cl.BaseURL(),
 		Jobs:      cfg.Jobs,
+		Retries:   cl.Retries(),
 		Errors:    map[string]int{},
 		DurationS: time.Since(start).Seconds(),
 	}

@@ -37,6 +37,15 @@
 // /healthz stats expose the store census plus plan_builds/plan_restores
 // counters for observing the effect.
 //
+// The store also makes accepted jobs crash-durable: every accepted
+// submission is journaled before the 202 is written and retired at its
+// terminal transition, and on boot the daemon recovers surviving journal
+// entries — re-running (or serving from the persisted result) every job
+// a SIGKILL'd predecessor left unfinished, under the original job IDs.
+// The /healthz stats report the count as jobs_recovered. Graceful
+// shutdown cancels and drains instead, so only an abrupt stop leaves
+// work to recover.
+//
 // With -node (default: a random 4-hex tag), job IDs are minted as
 // "<node>-j000001" so IDs from different backends never collide behind a
 // wloptr router. Pass -node ” to keep bare "j000001" IDs.
@@ -129,6 +138,9 @@ func main() {
 		NodeID:          nodeID,
 		OnJobDone:       met.ObserveJob,
 	})
+	if n := mgr.Stats().JobsRecovered; n > 0 {
+		log.Printf("wloptd: recovered %d journaled job(s) from %s", n, *storeDir)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newMux(mgr, *maxBody, met, *addr),

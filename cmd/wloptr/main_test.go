@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -13,9 +14,11 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/router"
 	"repro/internal/service"
 	"repro/internal/spec"
+	"repro/internal/store"
 	"repro/internal/systems"
 	"repro/internal/wlopt"
 )
@@ -489,5 +492,268 @@ func TestRouterRejectsBadSpecAtEdge(t *testing.T) {
 		if st := b.mgr.Stats(); st.Submitted != 0 {
 			t.Fatalf("backend %s saw %d submissions", b.node, st.Submitted)
 		}
+	}
+}
+
+// newBackendOn is newBackend bound to a specific TCP address, so a test
+// can crash a backend and restart its replacement on the same URL — the
+// identity the router's pool and a reconnecting watcher both key on.
+// Pass "127.0.0.1:0" for the first boot and the recorded address for
+// the reboot. No cleanup is registered: crash tests manage lifetimes.
+func newBackendOn(t *testing.T, addr, node string, cfg service.Config) *backendFixture {
+	t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	if cfg.NPSD == 0 {
+		cfg.NPSD = 64
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	met := api.NewServerMetrics(nil)
+	cfg.NodeID = node
+	cfg.OnJobDone = met.ObserveJob
+	mgr := service.New(cfg)
+	srv := api.NewServer(mgr, api.ServerConfig{Addr: node, Metrics: met})
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	return &backendFixture{node: node, url: ts.URL, mgr: mgr, met: met, ts: ts}
+}
+
+// TestWatchReconnectThroughCrashRecovery is the tentpole scenario across
+// the full stack: a watcher follows a slow job through the router; the
+// owning backend is crash-stopped (journal entries survive) and rebooted
+// on the same address over the same store; the watcher's severed SSE
+// stream reconnects through the router's failover window, resumes on the
+// recovered job, and observes exactly one terminal event — with the
+// recovered result identical to an undisturbed run.
+func TestWatchReconnectThroughCrashRecovery(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := newBackendOn(t, "127.0.0.1:0", "b1", service.Config{
+		Workers: 1, StepThrottle: 30 * time.Millisecond, Store: st1,
+	})
+	addr := b1.ts.Listener.Addr().String()
+	b2 := newBackend(t, "b2", service.Config{})
+
+	rt := router.New(router.Config{
+		Pool: router.PoolConfig{
+			Backends:      []string{b1.url, b2.url},
+			ProbeInterval: 20 * time.Millisecond,
+			ProbeTimeout:  2 * time.Second,
+			EjectAfter:    2,
+			ReadmitAfter:  1,
+		},
+		Addr: "router:0",
+	})
+	rt.Start()
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		rt.Close()
+	})
+
+	// Submit the slow job directly to b1 so its ownership is not at the
+	// mercy of the shard ring, then watch it through the router.
+	info, err := api.NewClient(b1.url).Submit(ctx, service.Request{
+		System: "dwt97(fig3)", Options: testOptions("descent", 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := api.NewClient(rts.URL).WithRetry(api.RetryPolicy{
+		MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, Seed: 1,
+	})
+	sawProgress := make(chan struct{})
+	var once sync.Once
+	terminals := 0
+	var finState service.JobState
+	watchErr := make(chan error, 1)
+	go func() {
+		watchErr <- cl.Watch(ctx, info.ID, func(ev service.Event) bool {
+			if ev.Type == "progress" {
+				once.Do(func() { close(sawProgress) })
+			}
+			if ev.Terminal {
+				terminals++
+				finState = ev.State
+			}
+			return true
+		})
+	}()
+
+	select {
+	case <-sawProgress:
+	case err := <-watchErr:
+		t.Fatalf("watch ended before progress: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no progress event within 10s")
+	}
+
+	// Crash b1: suppress journal retirement (Halt is the SIGKILL stand-in)
+	// and sever every connection, including the proxied watch stream.
+	b1.mgr.Halt()
+	b1.ts.CloseClientConnections()
+	b1.ts.Close()
+	if got := st1.Len(store.KindJob); got < 1 {
+		t.Fatalf("journal empty after crash: %d entries", got)
+	}
+
+	// Reboot on the same address over the same store; recovery runs before
+	// the listener accepts, so the watcher's reconnect finds the job.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1r := newBackendOn(t, addr, "b1", service.Config{
+		Workers: 1, StepThrottle: 5 * time.Millisecond, Store: st2,
+	})
+	defer func() {
+		b1r.ts.Close()
+		b1r.mgr.Close()
+		b1.mgr.Close()
+	}()
+	if got := b1r.mgr.Stats().JobsRecovered; got < 1 {
+		t.Fatalf("JobsRecovered = %d; want >= 1", got)
+	}
+
+	if err := <-watchErr; err != nil {
+		t.Fatalf("watch did not survive the crash: %v", err)
+	}
+	if terminals != 1 {
+		t.Fatalf("terminal events = %d; want exactly 1", terminals)
+	}
+	if finState != service.JobDone {
+		t.Fatalf("terminal state = %s; want done", finState)
+	}
+	if cl.Retries() == 0 {
+		t.Fatal("watcher never reconnected — the crash was not observed")
+	}
+
+	// The recovered result is identical to an undisturbed run elsewhere.
+	got, err := api.NewClient(b1r.url).Job(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := api.NewClient(b2.url).Submit(ctx, service.Request{
+		System: "dwt97(fig3)", Options: testOptions("descent", 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFin, err := api.NewClient(b2.url).Wait(ctx, want.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result == nil || wantFin.Result == nil ||
+		got.Result.Power != wantFin.Result.Power ||
+		got.Result.Cost != wantFin.Result.Cost ||
+		!reflect.DeepEqual(got.Result.Fracs, wantFin.Result.Fracs) {
+		t.Fatalf("recovered result diverged:\n%+v\nvs\n%+v", got.Result, wantFin.Result)
+	}
+}
+
+// TestClusterSurvivesInjectedFaults drives a seeded fault run: every
+// router→backend call rides a flaky transport, one backend's store tears
+// a write, and a retrying client still completes every registry system
+// with results bit-identical to a direct engine run — zero lost jobs.
+func TestClusterSurvivesInjectedFaults(t *testing.T) {
+	ctx := context.Background()
+	registry, err := systems.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// b1's store tears the first write it sees (the lying-hardware shape:
+	// the write claims success, the file is half there).
+	ffs := fault.NewFS(fault.FSConfig{TornAt: 1})
+	st1, err := store.OpenFS(t.TempDir(), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := newBackend(t, "b1", service.Config{Store: st1})
+	b2 := newBackend(t, "b2", service.Config{})
+
+	// Every router→backend call (probes included) rides a flaky transport.
+	ftr := fault.NewTransport(fault.TransportConfig{
+		Seed:        7,
+		ErrorRate:   0.15,
+		LatencyRate: 0.2,
+		Latency:     5 * time.Millisecond,
+	})
+	rt := router.New(router.Config{
+		Pool: router.PoolConfig{
+			Backends:      []string{b1.url, b2.url},
+			ProbeInterval: 20 * time.Millisecond,
+			ProbeTimeout:  2 * time.Second,
+			EjectAfter:    3,
+			ReadmitAfter:  1,
+			HTTPClient:    &http.Client{Transport: ftr},
+		},
+		Addr: "router:0",
+	})
+	rt.Start()
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		rt.Close()
+	})
+
+	cl := api.NewClient(rts.URL).WithRetry(api.RetryPolicy{
+		MaxAttempts: 8, BaseDelay: 20 * time.Millisecond, Seed: 1,
+	})
+	for _, sys := range registry {
+		info, err := cl.Submit(ctx, service.Request{System: sys.Name(), Options: testOptions("descent", 1)})
+		if err != nil {
+			t.Fatalf("%s: submit through faults: %v", sys.Name(), err)
+		}
+		fin, err := cl.Wait(ctx, info.ID)
+		if err != nil {
+			t.Fatalf("%s: wait through faults: %v", sys.Name(), err)
+		}
+		if fin.State != service.JobDone {
+			t.Fatalf("%s: state %s %q", sys.Name(), fin.State, fin.Error)
+		}
+
+		// Bit-identical to a fault-free direct run.
+		g, err := sys.Graph(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewEngine(64, 1)
+		probe, err := eng.EvaluateAssignment(g, core.UniformAssignment(g.NoiseSources(), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wlopt.RunStrategy(g, "descent", wlopt.Options{
+			Budget: probe.Power, MinFrac: 4, MaxFrac: 10, Evaluator: eng, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := fin.Result
+		if r == nil || r.Power != want.Power || r.Cost != want.Cost ||
+			!reflect.DeepEqual(r.Fracs, want.Fracs) {
+			t.Fatalf("%s through faults diverges from direct run:\n%+v\nvs\n%+v", sys.Name(), r, want)
+		}
+	}
+
+	// The faults actually fired — a run that injected nothing proves
+	// nothing.
+	if s := ftr.Stats(); s.Errors == 0 {
+		t.Fatalf("no transport errors injected: %+v", s)
+	}
+	if s := ffs.Stats(); s.Torn != 1 {
+		t.Fatalf("torn writes = %d; want 1", s.Torn)
 	}
 }

@@ -5,12 +5,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/service"
 )
@@ -27,9 +32,36 @@ import (
 //
 // Any other error is transport-level (connection refused, ctx expiry) —
 // the signal a router uses to eject a backend.
+//
+// Retries are opt-in via WithRetry: every Client method is idempotent
+// (Submit dedupes by spec digest server-side; Cancel and the reads are
+// naturally so), so a retrying client resubmits the same bytes safely.
+// The zero policy — the default, and what the router's pool uses —
+// performs exactly one attempt: the router has its own ring-walk
+// failover, and client-side retries underneath it would double-count
+// failures into its ejection logic.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Int64
+}
+
+// RetryPolicy bounds automatic retries of failed calls.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per call; <= 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (<= 0: 100ms); the delay
+	// before attempt n+1 is BaseDelay·2ⁿ⁻¹ with equal jitter, capped at
+	// MaxDelay (<= 0: 5s). A server Retry-After hint overrides the
+	// computed delay when longer.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed makes the jitter sequence reproducible in tests.
+	Seed int64
 }
 
 // NewClient targets a base URL ("http://host:port"). The optional
@@ -43,12 +75,135 @@ func NewClient(base string, hc ...*http.Client) *Client {
 	return c
 }
 
+// WithRetry installs the retry policy and returns the same client:
+//
+//	cl := api.NewClient(url).WithRetry(api.RetryPolicy{MaxAttempts: 4})
+//
+// With retries on, unary calls back off exponentially with jitter on
+// transport errors and on queue_full / unavailable / no_backend answers
+// (honoring Retry-After), slice a caller deadline into per-attempt
+// timeouts so one hung attempt can't eat the whole budget, and Watch
+// reconnects a severed stream, resuming from where it left off.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	c.retry = p
+	c.rng = rand.New(rand.NewSource(p.Seed))
+	return c
+}
+
 // BaseURL reports the target this client was built for.
 func (c *Client) BaseURL() string { return c.base }
 
-// do issues one request and decodes the response: 2xx into out (when
-// non-nil), anything else into a *Error.
+// Retries reports the retry attempts performed so far (unary re-issues
+// plus watch reconnects) — the load generator's "retries" column.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// retryable reports whether an error is worth another attempt: transport
+// failures always are (the call may never have reached the server; every
+// call is idempotent), and so are the three API answers that describe the
+// server's state rather than the request's validity.
+func retryable(err error) bool {
+	var apiErr *Error
+	if errors.As(err, &apiErr) {
+		switch apiErr.Code {
+		case CodeQueueFull, CodeUnavailable, CodeNoBackend:
+			return true
+		}
+		// Any other 5xx is a proxy-shaped transient — e.g. the router
+		// relaying a backend transport failure as an internal error while
+		// its probes catch up. 4xx answers are the caller's fault.
+		return apiErr.Status >= 500
+	}
+	return true
+}
+
+// retryDelay computes the pre-attempt backoff: exponential in the retry
+// ordinal with equal jitter, capped, then overridden by a Retry-After
+// hint when the server asked for longer.
+func (c *Client) retryDelay(retryN int, err error) time.Duration {
+	d := c.retry.BaseDelay << (retryN - 1)
+	if d <= 0 || d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	c.rngMu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rngMu.Unlock()
+	var apiErr *Error
+	if errors.As(err, &apiErr) && apiErr.RetryAfterS > 0 {
+		if ra := time.Duration(apiErr.RetryAfterS) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	return d
+}
+
+// sleepRetry counts and performs one backoff, cut short by ctx.
+func (c *Client) sleepRetry(ctx context.Context, retryN int, err error) error {
+	c.retries.Add(1)
+	t := time.NewTimer(c.retryDelay(retryN, err))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attemptCtx derives one attempt's context: with a caller deadline and
+// retries enabled, the remaining budget is split evenly across the
+// attempts still available, so a black-holed call times out with budget
+// left to try again instead of riding the full deadline down.
+func (c *Client) attemptCtx(ctx context.Context, attempt int) (context.Context, context.CancelFunc) {
+	deadline, ok := ctx.Deadline()
+	if !ok || c.retry.MaxAttempts <= 1 {
+		return ctx, func() {}
+	}
+	left := c.retry.MaxAttempts - attempt + 1
+	share := time.Until(deadline) / time.Duration(left)
+	if share <= 0 {
+		return ctx, func() {} // deadline passed; let the attempt fail on ctx
+	}
+	return context.WithTimeout(ctx, share)
+}
+
+// do issues a request with the retry policy applied and decodes the
+// response: 2xx into out (when non-nil), anything else into a *Error.
 func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, out any) (int, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts <= 1 {
+		return c.doOnce(ctx, method, path, query, body, out)
+	}
+	var status int
+	var err error
+	for attempt := 1; ; attempt++ {
+		actx, cancel := c.attemptCtx(ctx, attempt)
+		status, err = c.doOnce(actx, method, path, query, body, out)
+		cancel()
+		if err == nil {
+			return status, nil
+		}
+		// The caller's context governs; a per-attempt timeout with the
+		// parent still live is exactly the case retries exist for.
+		if ctx.Err() != nil {
+			return status, err
+		}
+		if !retryable(err) || attempt == attempts {
+			return status, err
+		}
+		if serr := c.sleepRetry(ctx, attempt, err); serr != nil {
+			return status, err
+		}
+	}
+}
+
+// doOnce issues one request.
+func (c *Client) doOnce(ctx context.Context, method, path string, query url.Values, body []byte, out any) (int, error) {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -196,20 +351,71 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 // invoking fn per event until the stream ends at the terminal event, fn
 // returns false, or ctx expires. A nil return means the stream completed
 // (terminal event seen or fn stopped it).
+//
+// With a retry policy installed, a severed stream reconnects with
+// backoff instead of erroring: each reconnect replays the history, and
+// events already delivered (by sequence number) are suppressed so fn
+// observes each event once — except the terminal event, which is always
+// delivered, because a job recovered after a crash restarts its history
+// and its terminal may carry a sequence the pre-crash stream already
+// passed. Watch returns at the first terminal event, so fn can never see
+// two.
 func (c *Client) Watch(ctx context.Context, id string, fn func(service.Event) bool) error {
+	var lastSeq int
+	if c.retry.MaxAttempts <= 1 {
+		_, err := c.watchOnce(ctx, id, fn, &lastSeq)
+		return err
+	}
+	failed := 0
+	for {
+		progressed, err := c.watchOnce(ctx, id, fn, &lastSeq)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		// Once events have flowed the job certainly exists, so any failure
+		// is worth a bounded reconnect: a cluster mid-failover transiently
+		// answers not_found (the owner is rebooting; its peers never heard
+		// of the job) where a live stream existed moments earlier.
+		if !retryable(err) && lastSeq == 0 {
+			return err
+		}
+		// A stream that delivered events was a live connection; its loss is
+		// a fresh failure, not one more strike against the same outage.
+		if progressed {
+			failed = 0
+		}
+		failed++
+		if failed >= c.retry.MaxAttempts {
+			return err
+		}
+		if serr := c.sleepRetry(ctx, failed, err); serr != nil {
+			return err
+		}
+	}
+}
+
+// watchOnce runs one watch connection, delivering events past *lastSeq
+// (terminals always) and advancing *lastSeq. It reports whether this
+// connection delivered anything new, and returns nil exactly when the
+// stream completed (terminal seen or fn stopped it).
+func (c *Client) watchOnce(ctx context.Context, id string, fn func(service.Event) bool, lastSeq *int) (bool, error) {
 	u := c.base + "/v1/jobs/" + url.PathEscape(id) + "?watch=1"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return err
+		return false, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeError(resp)
+		return false, decodeError(resp)
 	}
+	progressed := false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
@@ -219,22 +425,29 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(service.Event) bo
 		}
 		var ev service.Event
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-			return fmt.Errorf("watch %s: bad SSE payload %q: %w", id, line, err)
+			return progressed, fmt.Errorf("watch %s: bad SSE payload %q: %w", id, line, err)
 		}
+		if ev.Seq <= *lastSeq && !ev.Terminal {
+			continue // replayed history from a reconnect
+		}
+		if ev.Seq > *lastSeq {
+			*lastSeq = ev.Seq
+		}
+		progressed = true
 		if !fn(ev) {
-			return nil
+			return progressed, nil
 		}
 		if ev.Terminal {
-			return nil
+			return progressed, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
 		if ctx.Err() != nil {
-			return ctx.Err()
+			return progressed, ctx.Err()
 		}
-		return fmt.Errorf("watch %s: stream: %w", id, err)
+		return progressed, fmt.Errorf("watch %s: stream: %w", id, err)
 	}
-	return fmt.Errorf("watch %s: stream ended before terminal event", id)
+	return progressed, fmt.Errorf("watch %s: stream ended before terminal event", id)
 }
 
 // Wait blocks until the job reaches a terminal state (or ctx expires) and

@@ -1,0 +1,252 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// flakyHandler fails the first n requests at the transport level (the
+// connection is hijacked and severed with no response) and serves a 202
+// job snapshot afterwards.
+func flakyHandler(t *testing.T, failFirst int64) (http.HandlerFunc, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	h := func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failFirst {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.JobInfo{ID: "j1", State: service.JobQueued})
+	}
+	return h, &calls
+}
+
+// TestRetrySubmitTransportError: a retrying client rides out severed
+// connections and counts its retries.
+func TestRetrySubmitTransportError(t *testing.T) {
+	h, calls := flakyHandler(t, 2)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, Seed: 1})
+	info, _, err := cl.SubmitBody(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if info.ID != "j1" {
+		t.Fatalf("info = %+v", info)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls; want 3", got)
+	}
+	if got := cl.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d; want 2", got)
+	}
+}
+
+// TestRetryExhausted: the final error surfaces once attempts run out.
+func TestRetryExhausted(t *testing.T) {
+	h, calls := flakyHandler(t, 100)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1})
+	if _, _, err := cl.SubmitBody(context.Background(), []byte(`{}`)); err == nil {
+		t.Fatal("submit succeeded against a dead server")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls; want 3 (MaxAttempts)", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a 429 queue_full with Retry-After: 1
+// stretches the backoff to at least the server's hint.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorEnvelope{Error: &Error{Code: CodeQueueFull, Message: "full"}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.JobInfo{ID: "j1"})
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, Seed: 1})
+	start := time.Now()
+	if _, _, err := cl.SubmitBody(context.Background(), []byte(`{}`)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v; want >= ~1s (Retry-After hint)", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls; want 2", got)
+	}
+}
+
+// TestRetrySkipsClientErrors: a bad_request answer is the caller's fault;
+// retrying it would just repeat the mistake.
+func TestRetrySkipsClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(ErrorEnvelope{Error: &Error{Code: CodeBadRequest, Message: "nope"}})
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 1})
+	_, _, err := cl.SubmitBody(context.Background(), []byte(`{}`))
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeBadRequest {
+		t.Fatalf("err = %v; want bad_request", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls; want 1 (no retry on client error)", got)
+	}
+	if got := cl.Retries(); got != 0 {
+		t.Fatalf("Retries() = %d; want 0", got)
+	}
+}
+
+// TestRetryPerAttemptDeadline: a black-holed backend must not consume the
+// caller's whole deadline on attempt one — the budget is sliced so later
+// attempts still happen.
+func TestRetryPerAttemptDeadline(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		io.Copy(io.Discard, r.Body) // body must drain for close detection
+		select {
+		case <-r.Context().Done(): // black hole: answer only on disconnect
+		case <-time.After(3 * time.Second): // unstick srv.Close
+		}
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, _, err := cl.SubmitBody(ctx, []byte(`{}`)); err == nil {
+		t.Fatal("submit succeeded against a black hole")
+	}
+	if got := calls.Load(); got < 2 {
+		t.Fatalf("server saw %d calls; want >= 2 (deadline sliced per attempt)", got)
+	}
+}
+
+// sseConn writes one watch connection's worth of events.
+func sseConn(w http.ResponseWriter, events []service.Event) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range events {
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "data: %s\n\n", data)
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestWatchReconnectReplay: a severed stream reconnects; the replayed
+// history is suppressed, so the watcher observes each event once and
+// exactly one terminal.
+func TestWatchReconnectReplay(t *testing.T) {
+	ev := func(seq int, terminal bool) service.Event {
+		e := service.Event{Seq: seq, Type: "progress", JobID: "j1", Step: seq}
+		if terminal {
+			e.Type = "state"
+			e.State = service.JobDone
+			e.Terminal = true
+		}
+		return e
+	}
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.URL.RawQuery, "watch=1") {
+			t.Errorf("unexpected request %s?%s", r.URL.Path, r.URL.RawQuery)
+			return
+		}
+		switch conns.Add(1) {
+		case 1:
+			// Deliver three events, then sever mid-stream.
+			sseConn(w, []service.Event{ev(1, false), ev(2, false), ev(3, false)})
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+		default:
+			// The reconnect replays history from the top, then finishes.
+			sseConn(w, []service.Event{ev(1, false), ev(2, false), ev(3, false), ev(4, false), ev(5, true)})
+		}
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, Seed: 1})
+	var seqs []int
+	terminals := 0
+	err := cl.Watch(context.Background(), "j1", func(e service.Event) bool {
+		seqs = append(seqs, e.Seq)
+		if e.Terminal {
+			terminals++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	want := []int{1, 2, 3, 4, 5}
+	if len(seqs) != len(want) {
+		t.Fatalf("saw seqs %v; want %v", seqs, want)
+	}
+	for i, s := range want {
+		if seqs[i] != s {
+			t.Fatalf("saw seqs %v; want %v", seqs, want)
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("terminals = %d; want exactly 1", terminals)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Fatalf("connections = %d; want 2", got)
+	}
+	if got := cl.Retries(); got != 1 {
+		t.Fatalf("Retries() = %d; want 1 (one reconnect)", got)
+	}
+}
+
+// TestWatchNoRetryWithoutPolicy: the zero policy preserves the original
+// single-connection behavior — a severed stream is an error.
+func TestWatchNoRetryWithoutPolicy(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sseConn(w, []service.Event{{Seq: 1, Type: "progress", JobID: "j1"}})
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL)
+	err := cl.Watch(context.Background(), "j1", func(service.Event) bool { return true })
+	if err == nil || !strings.Contains(err.Error(), "before terminal event") {
+		t.Fatalf("err = %v; want 'stream ended before terminal event'", err)
+	}
+}

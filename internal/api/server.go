@@ -424,6 +424,7 @@ func (m *ServerMetrics) bindStats(stats func() service.Stats) {
 			{"wlopt_coalesced_total", "Submissions coalesced onto an in-flight job.", func(s service.Stats) float64 { return float64(s.Coalesced) }},
 			{"wlopt_plan_builds_total", "Engine plans built from scratch.", func(s service.Stats) float64 { return float64(s.PlanBuilds) }},
 			{"wlopt_plan_restores_total", "Engine plans restored from snapshots.", func(s service.Stats) float64 { return float64(s.PlanRestores) }},
+			{"wlopt_jobs_recovered_total", "Journaled jobs recovered at boot.", func(s service.Stats) float64 { return float64(s.JobsRecovered) }},
 		}
 		for _, c := range counters {
 			get := c.get

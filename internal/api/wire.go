@@ -36,7 +36,7 @@ const APIVersion = "v1"
 
 // ServerVersion identifies the serving-tier build on /healthz; bump it
 // alongside wire-visible behavior changes.
-const ServerVersion = "wlopt/7"
+const ServerVersion = "wlopt/8"
 
 // Error codes carried in the error envelope. Clients switch on these, not
 // on message text.
@@ -120,6 +120,10 @@ type BackendHealth struct {
 	// failures since boot.
 	Requests int64 `json:"requests"`
 	Failures int64 `json:"failures"`
+	// ConsecFailures counts failures since the last success (probe or
+	// proxied call); it resets to zero on any success, so a non-zero value
+	// means the backend is failing right now, not that it ever failed.
+	ConsecFailures int `json:"consec_failures"`
 	// LastError is the most recent probe or proxy failure, if any.
 	LastError string `json:"last_error,omitempty"`
 }

@@ -1,0 +1,53 @@
+// Package fault is the deterministic fault-injection layer the serving
+// tier's failure paths are tested with. It wraps the two seams the rest
+// of the stack already exposes without build tags:
+//
+//   - Transport wraps an http.RoundTripper (api.NewClient's http.Client,
+//     router.PoolConfig.HTTPClient) and injects per-call latency, errors
+//     and black holes.
+//   - FS wraps a store.FileSystem (store.OpenFS) and injects torn writes,
+//     EIO and ENOSPC into the warm store's disk traffic.
+//
+// Every decision is drawn from a seeded PRNG, so a failing chaos run
+// replays exactly: same seed, same call sequence, same faults. The
+// decision stream is serialized behind a mutex, which makes the fault
+// *sequence* deterministic even when the *assignment* of faults to
+// concurrent calls depends on scheduling — good enough for "this seed
+// injects 7 errors into 100 calls" style assertions.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected marks an injected transport failure; ErrInjectedIO an
+// injected disk read/write failure. Tests assert on them with errors.Is.
+var (
+	ErrInjected   = errors.New("fault: injected transport error")
+	ErrInjectedIO = errors.New("fault: injected IO error")
+	ErrNoSpace    = errors.New("fault: injected ENOSPC")
+)
+
+// source is the shared seeded decision stream.
+type source struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newSource(seed int64) *source {
+	return &source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// hit draws one decision with probability p. p <= 0 never hits and does
+// not consume a draw, so disabled knobs don't perturb the stream of
+// enabled ones across config changes.
+func (s *source) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64() < p
+}

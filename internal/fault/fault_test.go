@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestTransportDeterministic: same seed, same call sequence, same faults.
+func TestTransportDeterministic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	outcomes := func(seed int64) []bool {
+		tr := NewTransport(TransportConfig{Seed: seed, ErrorRate: 0.3})
+		hc := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 50; i++ {
+			resp, err := hc.Get(ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: seed 42 diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	failures := 0
+	for _, bad := range a {
+		if bad {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Fatalf("ErrorRate 0.3 over 50 calls injected %d failures; want some, not all", failures)
+	}
+}
+
+func TestTransportInjectsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	tr := NewTransport(TransportConfig{Seed: 1, ErrorRate: 1})
+	hc := &http.Client{Transport: tr}
+	_, err := hc.Get(ts.URL)
+	if err == nil || !errors.Is(errors.Unwrap(err), ErrInjected) && !errors.Is(err, ErrInjected) {
+		// http.Client wraps transport errors in *url.Error.
+		var ue interface{ Unwrap() error }
+		if !errors.As(err, &ue) || !errors.Is(ue.Unwrap(), ErrInjected) {
+			t.Fatalf("err = %v; want ErrInjected", err)
+		}
+	}
+	if st := tr.Stats(); st.Errors != 1 || st.Calls != 1 {
+		t.Fatalf("stats = %+v; want 1 call, 1 error", st)
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	tr := NewTransport(TransportConfig{Seed: 1, LatencyRate: 1, Latency: 30 * time.Millisecond})
+	hc := &http.Client{Transport: tr}
+	start := time.Now()
+	resp, err := hc.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("call took %v; want >= 30ms injected latency", el)
+	}
+	if st := tr.Stats(); st.Delays != 1 {
+		t.Fatalf("stats = %+v; want 1 delay", st)
+	}
+}
+
+// TestStoreSurvivesTornWrite drives a torn write through the real store:
+// the Put completes cleanly (the fault is silent, as real lying hardware
+// would be), and the next read detects the truncation by checksum,
+// reports a miss, and disposes of the entry — never serving bad data.
+func TestStoreSurvivesTornWrite(t *testing.T) {
+	ffs := NewFS(FSConfig{TornAt: 1})
+	s, err := store.OpenFS(t.TempDir(), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type entry struct{ A, B int }
+	if err := s.Put(store.KindResult, "k1", &entry{A: 1, B: 2}); err != nil {
+		t.Fatalf("torn Put reported failure: %v (the fault must be silent)", err)
+	}
+	if ffs.Stats().Torn != 1 {
+		t.Fatalf("torn = %d; want 1", ffs.Stats().Torn)
+	}
+
+	var got entry
+	if s.Get(store.KindResult, "k1", &got) {
+		t.Fatal("Get returned the torn entry as intact")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt = %d; want 1", st.Corrupt)
+	}
+	if s.Len(store.KindResult) != 0 {
+		t.Fatal("torn entry not removed")
+	}
+
+	// The rewrite repairs the entry: create #2 is not torn.
+	if err := s.Put(store.KindResult, "k1", &entry{A: 1, B: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(store.KindResult, "k1", &got) || got.A != 1 || got.B != 2 {
+		t.Fatalf("repaired entry not served: got %+v", got)
+	}
+}
+
+// TestStoreSurvivesWriteError: an injected EIO fails the Put loudly and
+// leaves no entry behind; reads keep working.
+func TestStoreSurvivesWriteError(t *testing.T) {
+	ffs := NewFS(FSConfig{Seed: 1, WriteErrorRate: 1})
+	s, err := store.OpenFS(t.TempDir(), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct{ A int }
+	if err := s.Put(store.KindPlan, "k", &entry{A: 7}); err == nil {
+		t.Fatal("Put succeeded through injected EIO")
+	}
+	if s.Len(store.KindPlan) != 0 {
+		t.Fatal("failed Put left an entry")
+	}
+	if ffs.Stats().WriteErrors == 0 {
+		t.Fatal("no write error counted")
+	}
+}
+
+func TestFSInjectsNoSpace(t *testing.T) {
+	ffs := NewFS(FSConfig{Seed: 1, NoSpaceRate: 1})
+	s, err := store.OpenFS(t.TempDir(), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct{ A int }
+	err = s.Put(store.KindPlan, "k", &entry{A: 7})
+	if err == nil || ffs.Stats().NoSpace == 0 {
+		t.Fatalf("Put err = %v, noSpace = %d; want ENOSPC failure", err, ffs.Stats().NoSpace)
+	}
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// FSConfig tunes an injecting FS. Probabilities in [0, 1]; zero disables.
+type FSConfig struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// TornAt, when > 0, silently tears the Nth created file (1-based):
+	// its writes and fsyncs report success, but only the first half of
+	// the bytes reach disk — the shape of a power cut between data
+	// flush and completion that the store's checksum must catch. Use it
+	// for "exactly one torn write" tests.
+	TornAt int64
+	// TornRate tears created files probabilistically, same mechanics.
+	TornRate float64
+	// WriteErrorRate fails a Write with ErrInjectedIO (EIO shape).
+	WriteErrorRate float64
+	// NoSpaceRate fails a Write with ErrNoSpace (ENOSPC shape).
+	NoSpaceRate float64
+	// ReadErrorRate fails an Open with ErrInjectedIO.
+	ReadErrorRate float64
+	// Next is the real filesystem; nil selects store.OSFileSystem().
+	Next store.FileSystem
+}
+
+// FSStats counts what an FS injected.
+type FSStats struct {
+	Creates     int64
+	Torn        int64
+	WriteErrors int64
+	ReadErrors  int64
+	NoSpace     int64
+}
+
+// FS is a fault-injecting store.FileSystem. Hand it to store.OpenFS to
+// exercise the store's torn-write and IO-error handling through its real
+// code paths.
+type FS struct {
+	cfg FSConfig
+	src *source
+
+	creates   atomic.Int64
+	torn      atomic.Int64
+	writeErrs atomic.Int64
+	readErrs  atomic.Int64
+	noSpace   atomic.Int64
+}
+
+// NewFS builds the filesystem wrapper.
+func NewFS(cfg FSConfig) *FS {
+	if cfg.Next == nil {
+		cfg.Next = store.OSFileSystem()
+	}
+	return &FS{cfg: cfg, src: newSource(cfg.Seed)}
+}
+
+// Stats snapshots the injection counters.
+func (f *FS) Stats() FSStats {
+	return FSStats{
+		Creates:     f.creates.Load(),
+		Torn:        f.torn.Load(),
+		WriteErrors: f.writeErrs.Load(),
+		ReadErrors:  f.readErrs.Load(),
+		NoSpace:     f.noSpace.Load(),
+	}
+}
+
+func (f *FS) Open(name string) (store.File, error) {
+	if f.src.hit(f.cfg.ReadErrorRate) {
+		f.readErrs.Add(1)
+		return nil, fmt.Errorf("%w: open %s", ErrInjectedIO, name)
+	}
+	return f.cfg.Next.Open(name)
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	inner, err := f.cfg.Next.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	n := f.creates.Add(1)
+	if (f.cfg.TornAt > 0 && n == f.cfg.TornAt) || f.src.hit(f.cfg.TornRate) {
+		f.torn.Add(1)
+		return &tornFile{inner: inner}, nil
+	}
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error { return f.cfg.Next.Rename(oldpath, newpath) }
+func (f *FS) Remove(name string) error             { return f.cfg.Next.Remove(name) }
+func (f *FS) SyncDir(dir string) error             { return f.cfg.Next.SyncDir(dir) }
+
+// faultFile passes IO through, failing writes per the error knobs.
+type faultFile struct {
+	inner store.File
+	fs    *FS
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+func (f *faultFile) Name() string               { return f.inner.Name() }
+func (f *faultFile) Sync() error                { return f.inner.Sync() }
+func (f *faultFile) Close() error               { return f.inner.Close() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.src.hit(f.fs.cfg.WriteErrorRate) {
+		f.fs.writeErrs.Add(1)
+		return 0, fmt.Errorf("%w: write %s", ErrInjectedIO, f.inner.Name())
+	}
+	if f.fs.src.hit(f.fs.cfg.NoSpaceRate) {
+		f.fs.noSpace.Add(1)
+		return 0, fmt.Errorf("%w: write %s", ErrNoSpace, f.inner.Name())
+	}
+	return f.inner.Write(p)
+}
+
+// tornFile buffers every write and claims success — including Sync — but
+// only the first half of the bytes ever reach the real file, at Close.
+// The caller's write/fsync/rename sequence completes cleanly, installing
+// a truncated entry: the lying-hardware shape the store's checksum
+// verification exists for.
+type tornFile struct {
+	inner store.File
+	buf   bytes.Buffer
+}
+
+func (f *tornFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+func (f *tornFile) Name() string               { return f.inner.Name() }
+func (f *tornFile) Sync() error                { return nil }
+
+func (f *tornFile) Write(p []byte) (int, error) { return f.buf.Write(p) }
+
+func (f *tornFile) Close() error {
+	data := f.buf.Bytes()
+	f.inner.Write(data[:len(data)/2])
+	return f.inner.Close()
+}

@@ -77,12 +77,16 @@ type backend struct {
 
 	mu        sync.Mutex
 	healthy   bool
-	consecBad int   // consecutive probe failures while healthy
-	consecOK  int   // consecutive probe successes while ejected
-	inFlight  int   // router-side outstanding requests
-	requests  int64 // proxied requests since boot
-	failures  int64 // transport-level failures since boot
-	lastErr   string
+	consecBad int // consecutive probe failures while healthy
+	consecOK  int // consecutive probe successes while ejected
+	// consecFail counts failures (probe or proxy) since the last success
+	// of either kind — the /healthz signal for "failing right now", as
+	// opposed to the lifetime failures counter.
+	consecFail int
+	inFlight   int   // router-side outstanding requests
+	requests   int64 // proxied requests since boot
+	failures   int64 // transport-level failures since boot
+	lastErr    string
 }
 
 // Pool is the health-checked backend set behind the router: it owns one
@@ -182,6 +186,7 @@ func (p *Pool) recordProbe(b *backend, err error) {
 	if err != nil {
 		b.lastErr = err.Error()
 		b.consecOK = 0
+		b.consecFail++
 		if b.healthy {
 			b.consecBad++
 			if b.consecBad >= p.cfg.EjectAfter {
@@ -191,6 +196,7 @@ func (p *Pool) recordProbe(b *backend, err error) {
 		}
 	} else {
 		b.consecBad = 0
+		b.consecFail = 0
 		if !b.healthy {
 			b.consecOK++
 			if b.consecOK >= p.cfg.ReadmitAfter {
@@ -248,10 +254,13 @@ func (p *Pool) release(b *backend, transportErr error) {
 		b.failures++
 		b.lastErr = transportErr.Error()
 		b.consecOK = 0
+		b.consecFail++
 		if b.healthy {
 			b.healthy = false
 			ejected = true
 		}
+	} else {
+		b.consecFail = 0
 	}
 	b.mu.Unlock()
 	if ejected {
@@ -274,6 +283,7 @@ func (p *Pool) ReportFailure(addr string, err error) {
 	b.failures++
 	b.lastErr = err.Error()
 	b.consecOK = 0
+	b.consecFail++
 	if b.healthy {
 		b.healthy = false
 		ejected = true
@@ -317,13 +327,14 @@ func (p *Pool) Healthz() []api.BackendHealth {
 		b := p.backends[addr]
 		b.mu.Lock()
 		out = append(out, api.BackendHealth{
-			Addr:        b.addr,
-			Healthy:     b.healthy,
-			InFlight:    b.inFlight,
-			InFlightCap: p.cfg.InFlight,
-			Requests:    b.requests,
-			Failures:    b.failures,
-			LastError:   b.lastErr,
+			Addr:           b.addr,
+			Healthy:        b.healthy,
+			InFlight:       b.inFlight,
+			InFlightCap:    p.cfg.InFlight,
+			Requests:       b.requests,
+			Failures:       b.failures,
+			ConsecFailures: b.consecFail,
+			LastError:      b.lastErr,
 		})
 		b.mu.Unlock()
 	}

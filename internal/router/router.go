@@ -175,7 +175,7 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var sawBusy bool
-	for _, addr := range rt.pool.Ring().Seq(key) {
+	for attempt, addr := range rt.pool.Ring().Seq(key) {
 		cl, release, err := rt.pool.Acquire(addr)
 		if errors.Is(err, ErrBackendBusy) {
 			// The digest's owner is healthy but saturated. Don't spill to
@@ -188,6 +188,10 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 			continue // ejected: fail over along the ring
 		}
 		rt.reg.Counter("wloptr_proxy_requests_total", "Requests proxied per backend.", "backend", addr).Inc()
+		if attempt > 0 {
+			// Proxying past the shard owner: the ring walk failed over.
+			rt.reg.Counter("wloptr_proxy_retries_total", "Submissions proxied past the first ring position.", "backend", addr).Inc()
+		}
 		info, status, err := cl.SubmitBody(r.Context(), body)
 		if err != nil {
 			var apiErr *api.Error

@@ -119,6 +119,15 @@ type job struct {
 	// settle resolves them when this job's run attempt ends.
 	followers []*job
 
+	// journalMu guards the journal handshake: journaled marks an entry on
+	// disk awaiting this job's terminal transition; journalDone marks the
+	// terminal side already handled, so a late journalAccept must not
+	// resurrect a retired entry. Separate from j.mu because the journal
+	// write is file IO.
+	journalMu   sync.Mutex
+	journaled   bool
+	journalDone bool
+
 	mu        sync.Mutex
 	state     JobState
 	cacheHit  bool

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/systems"
+)
+
+// waitJournalLen polls until the job journal holds want entries.
+func waitJournalLen(t *testing.T, st *store.Store, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Len(store.KindJob) == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("journal len = %d; want %d", st.Len(store.KindJob), want)
+}
+
+// optionsWithMaxFrac varies the options fingerprint (and the registry
+// export width), giving each call site a distinct cache key.
+func optionsWithMaxFrac(maxFrac int) spec.Options {
+	o := testOptions("descent")
+	o.MaxFrac = maxFrac
+	return o
+}
+
+// TestJournalLifecycle: an accepted job is journaled by the time Submit
+// returns and retired at its terminal transition.
+func TestJournalLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore(t, dir)
+	m := testManager(t, Config{Workers: 1, StepThrottle: 10 * time.Millisecond, Store: st})
+
+	info, err := m.Submit(Request{System: "dwt97(fig3)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Len(store.KindJob); got != 1 {
+		t.Fatalf("journal len after accept = %d; want 1", got)
+	}
+	if fin := waitDone(t, m, info.ID); fin.State != JobDone {
+		t.Fatalf("job: %s %q", fin.State, fin.Error)
+	}
+	// The delete runs in the terminal hook, which may still be in flight
+	// when Wait returns.
+	waitJournalLen(t, st, 0)
+
+	// A cache-hit submission never touches the journal.
+	hit, err := m.Submit(Request{System: "dwt97(fig3)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatalf("repeat submission not a cache hit: %+v", hit)
+	}
+	if got := st.Len(store.KindJob); got != 0 {
+		t.Fatalf("cache hit journaled: len = %d", got)
+	}
+}
+
+// TestRecoveryAfterHalt is the tentpole scenario in-process: a manager
+// crash-stops (Halt — the SIGKILL stand-in) with one running job, one
+// queued job and one coalesced follower; a new manager over the same
+// store recovers all three, re-forms the coalesced pair, finishes the
+// backlog with results bit-identical to an undisturbed run, and drains
+// the journal.
+func TestRecoveryAfterHalt(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore(t, dir)
+	m1 := New(Config{NPSD: 64, Workers: 1, StepThrottle: 20 * time.Millisecond, Store: st})
+
+	a, err := m1.Submit(Request{System: "dwt97(fig3)", Options: optionsWithMaxFrac(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunningStep(t, m1, a.ID)
+	b, err := m1.Submit(Request{System: "dwt97(fig3)", Options: optionsWithMaxFrac(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m1.Submit(Request{System: "dwt97(fig3)", Options: optionsWithMaxFrac(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Len(store.KindJob); got != 3 {
+		t.Fatalf("journal len = %d; want 3 (running + queued + follower)", got)
+	}
+
+	m1.Halt()
+	if got := st.Len(store.KindJob); got != 3 {
+		t.Fatalf("journal len after Halt = %d; want 3 (a crash must not retire entries)", got)
+	}
+
+	st2 := testStore(t, dir)
+	m2 := testManager(t, Config{Workers: 1, Store: st2})
+	if got := m2.Stats().JobsRecovered; got != 3 {
+		t.Fatalf("JobsRecovered = %d; want 3", got)
+	}
+	for _, id := range []string{a.ID, b.ID, b2.ID} {
+		fin := waitDone(t, m2, id)
+		if fin.State != JobDone {
+			t.Fatalf("recovered job %s: %s %q", id, fin.State, fin.Error)
+		}
+	}
+	if got := m2.Stats().Coalesced; got != 1 {
+		t.Fatalf("Coalesced = %d; want 1 (the follower pair must re-form)", got)
+	}
+	waitJournalLen(t, st2, 0)
+
+	// Recovered results must be bit-identical to an undisturbed run.
+	clean := testManager(t, Config{Workers: 1})
+	for _, id := range []string{a.ID, b.ID} {
+		got, err := m2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxFrac := 10
+		if id == b.ID {
+			maxFrac = 11
+		}
+		want := submitAndWait(t, clean, Request{System: "dwt97(fig3)", Options: optionsWithMaxFrac(maxFrac)})
+		if got.Result == nil || want.Result == nil {
+			t.Fatalf("missing result: got %+v want %+v", got.Result, want.Result)
+		}
+		if got.Result.Power != want.Result.Power || got.Result.Cost != want.Result.Cost ||
+			len(got.Result.Fracs) != len(want.Result.Fracs) {
+			t.Fatalf("recovered result diverged: got %+v want %+v", got.Result, want.Result)
+		}
+		for k, v := range want.Result.Fracs {
+			if got.Result.Fracs[k] != v {
+				t.Fatalf("frac %s: got %d want %d", k, got.Result.Fracs[k], v)
+			}
+		}
+	}
+
+	// Fresh IDs mint past the recovered sequence: no collisions.
+	fresh, err := m2.Submit(Request{System: "dwt97(fig3)", Options: optionsWithMaxFrac(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == a.ID || fresh.ID == b.ID || fresh.ID == b2.ID {
+		t.Fatalf("fresh job reused a recovered ID: %s", fresh.ID)
+	}
+	waitDone(t, m2, fresh.ID)
+}
+
+// TestRecoveryServesPersistedResult covers the crash window between the
+// result write and the journal delete: recovery re-submits, hits the
+// persisted result, and serves it without re-running the search.
+func TestRecoveryServesPersistedResult(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore(t, dir)
+	m1 := testManager(t, Config{Workers: 1, Store: st})
+	opts := testOptions("descent")
+	fin := submitAndWait(t, m1, Request{System: "dwt97(fig3)", Options: opts})
+	waitJournalLen(t, st, 0)
+	m1.Close()
+
+	// Fabricate the crash leftovers: the journal entry survived, the
+	// result is already in the store.
+	sp, err := systems.SpecFor(systems.NewDWT(), opts.MaxFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ghostID = "zz-j000042"
+	err = st.Put(store.KindJob, ghostID, &journalEntry{
+		ID: ghostID, Seq: 42, System: "dwt97(fig3)", Spec: sp,
+		Options: opts.WithDefaults(), Digest: fin.Digest,
+		State: JobQueued, Submitted: time.Now(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := testStore(t, dir)
+	m2 := testManager(t, Config{Workers: 1, Store: st2})
+	if got := m2.Stats().JobsRecovered; got != 1 {
+		t.Fatalf("JobsRecovered = %d; want 1", got)
+	}
+	got := waitDone(t, m2, ghostID)
+	if got.State != JobDone || !got.CacheHit {
+		t.Fatalf("ghost job: state %s, cacheHit %v; want done cache hit", got.State, got.CacheHit)
+	}
+	if got.Result == nil || fin.Result == nil || got.Result.Power != fin.Result.Power {
+		t.Fatalf("ghost result diverged: got %+v want %+v", got.Result, fin.Result)
+	}
+	waitJournalLen(t, st2, 0)
+	if builds := m2.Stats().PlanBuilds; builds != 0 {
+		t.Fatalf("plan builds = %d; want 0 (the hit must skip the search)", builds)
+	}
+}
+
+// TestGracefulCloseDrainsJournal: Close is a drain, not a crash — the
+// cancelled jobs reach terminal states and retire their entries, so the
+// next boot recovers nothing.
+func TestGracefulCloseDrainsJournal(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore(t, dir)
+	m := New(Config{NPSD: 64, Workers: 1, StepThrottle: 20 * time.Millisecond, Store: st})
+	a, err := m.Submit(Request{System: "dwt97(fig3)", Options: optionsWithMaxFrac(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunningStep(t, m, a.ID)
+	if _, err := m.Submit(Request{System: "dwt97(fig3)", Options: optionsWithMaxFrac(11)}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	waitJournalLen(t, st, 0)
+
+	st2 := testStore(t, dir)
+	m2 := testManager(t, Config{Workers: 1, Store: st2})
+	if got := m2.Stats().JobsRecovered; got != 0 {
+		t.Fatalf("JobsRecovered = %d after graceful close; want 0", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -59,7 +60,11 @@ type Config struct {
 	// snapshots keyed by (digest, NPSD) and results keyed by
 	// (digest, options fingerprint) survive the process. Reads fall back
 	// transparently on miss or corruption; writes are write-through after
-	// each completed job. nil keeps the manager fully in-memory.
+	// each completed job. It also carries the accepted-job journal: every
+	// accepted submission is journaled before Submit returns and retired
+	// at its terminal transition, and New recovers surviving entries —
+	// a SIGKILL'd daemon finishes its backlog after restart (see
+	// journal.go). nil keeps the manager fully in-memory.
 	Store *store.Store
 	// NodeID, when non-empty, prefixes job IDs ("<node>-j000001") so IDs
 	// minted by different backends never collide behind a router that
@@ -165,6 +170,10 @@ type Stats struct {
 	// should grow PlanRestores while PlanBuilds stays at zero.
 	PlanBuilds   int64 `json:"plan_builds"`
 	PlanRestores int64 `json:"plan_restores"`
+	// JobsRecovered counts journaled jobs re-admitted at boot — nonzero
+	// means the previous process died abruptly with accepted work
+	// pending, and this one picked it up.
+	JobsRecovered int64 `json:"jobs_recovered"`
 	// Store is the persistent store census; nil when running in-memory.
 	Store *store.Stats `json:"store,omitempty"`
 }
@@ -208,12 +217,17 @@ type Manager struct {
 	queue      chan *job
 	wg         sync.WaitGroup
 
+	// halted marks a crash-stop (Halt): store and journal writes are
+	// suppressed so the on-disk state looks SIGKILL'd, not drained.
+	halted atomic.Bool
+
 	mu        sync.Mutex
 	closed    bool
 	jobs      map[string]*job
 	order     []string // insertion order, for history eviction
 	seq       int64
 	submitted int64
+	recovered int64 // journaled jobs re-admitted on boot
 	cacheHits int64
 	coalesced int64
 	results   *lruCache       // key -> *cachedResult
@@ -252,6 +266,10 @@ func New(cfg Config) *Manager {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	// Recover journaled jobs synchronously, after the workers exist to
+	// drain them but before the manager is handed to any server: by the
+	// time the process accepts traffic, every recovered ID resolves.
+	m.recoverJobs()
 	return m
 }
 
@@ -304,8 +322,10 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 		state:     JobQueued,
 		submitted: time.Now(),
 		subs:      make(map[int]chan Event),
-		onDone:    m.cfg.OnJobDone,
 	}
+	// Every terminal transition routes through jobDone: it retires the
+	// job's journal entry, then forwards to Config.OnJobDone.
+	j.onDone = func(info *JobInfo) { m.jobDone(j, info) }
 	j.ctx, j.cancel = context.WithCancel(m.baseCtx)
 	// Publish the initial state before the job is visible to workers or
 	// watchers, so the event history always starts with "queued" and a
@@ -317,7 +337,11 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 		return m.serveHitLocked(j, hit.(*cachedResult)), nil
 	}
 	if leader, ok := m.inflight[key]; ok {
-		return m.joinLocked(j, leader), nil
+		info := m.joinLocked(j, leader)
+		// Followers are accepted work too: journal them, so a crash while
+		// their leader runs doesn't silently drop them.
+		m.journalAccept(j)
+		return info, nil
 	}
 	if m.cfg.Store != nil {
 		// Probe the persistent store with the lock dropped — it's file IO —
@@ -336,7 +360,9 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 			return m.serveHitLocked(j, hit.(*cachedResult)), nil
 		}
 		if leader, ok := m.inflight[key]; ok {
-			return m.joinLocked(j, leader), nil
+			info := m.joinLocked(j, leader)
+			m.journalAccept(j)
+			return info, nil
 		}
 		if cr != nil {
 			m.results.put(key, cr)
@@ -356,6 +382,10 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 	m.inflight[key] = j
 	m.registerLocked(j)
 	m.mu.Unlock()
+	// Journal after commit, before the caller gets its ack: a crash from
+	// here on is recoverable, and a crash before here raced the ack the
+	// client never received.
+	m.journalAccept(j)
 	return j.snapshot(), nil
 }
 
@@ -645,7 +675,7 @@ func (m *Manager) storeGetResult(key string) *cachedResult {
 // storePutResult write-throughs one completed result. Persistence is best
 // effort: a failed write leaves the in-memory cache authoritative.
 func (m *Manager) storePutResult(key string, res *wlopt.Result, budget float64) {
-	if m.cfg.Store == nil {
+	if m.cfg.Store == nil || m.halted.Load() {
 		return
 	}
 	_ = m.cfg.Store.Put(store.KindResult, key, &storedResult{Res: res, Budget: budget})
@@ -654,7 +684,7 @@ func (m *Manager) storePutResult(key string, res *wlopt.Result, budget float64) 
 // persistPlan snapshots the digest's warm engine plan to the store, once
 // per graphEntry lifetime. The caller must hold entry.mu.
 func (m *Manager) persistPlan(digest string, entry *graphEntry) {
-	if m.cfg.Store == nil || entry.persisted {
+	if m.cfg.Store == nil || entry.persisted || m.halted.Load() {
 		return
 	}
 	snap, err := m.eng.SnapshotPlan(entry.g)
@@ -915,6 +945,7 @@ func (m *Manager) Stats() Stats {
 	defer m.mu.Unlock()
 	st := Stats{
 		Submitted:      m.submitted,
+		JobsRecovered:  m.recovered,
 		CacheHits:      m.cacheHits,
 		Coalesced:      m.coalesced,
 		QueueLen:       len(m.queue),

@@ -1,0 +1,60 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FileSystem is the store's seam to the disk: every byte the store reads
+// or writes goes through one of these calls, so a test can interpose
+// torn writes, EIO or ENOSPC (see internal/fault.FS) without build tags
+// and without the store knowing. Directory creation and listing are not
+// faulted — they happen once at Open and in diagnostics — so they stay
+// on the os package directly.
+type FileSystem interface {
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// CreateTemp creates a new temp file in dir (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically installs oldpath at newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making a preceding rename
+	// durable across power loss (a renamed entry otherwise lives only in
+	// the directory's in-memory state until the kernel flushes it).
+	SyncDir(dir string) error
+}
+
+// File is the store's view of one open file. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	// Name reports the file's path (temp files are renamed by it).
+	Name() string
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFileSystem returns the real disk. Open(dir) is OpenFS(dir, OSFileSystem()).
+func OSFileSystem() FileSystem { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -9,9 +9,11 @@
 //
 // Durability model:
 //
-//   - Writes are atomic: encode to a temp file in the target directory,
-//     then rename over the final path. A crash mid-write leaves at worst a
-//     stray .tmp file (swept on Open), never a half-written entry.
+//   - Writes are atomic and durable: encode to a temp file in the target
+//     directory, fsync it, rename over the final path, then fsync the
+//     directory — so "written" holds across power loss, not just process
+//     crash. A crash mid-write leaves at worst a stray .tmp file (swept
+//     on Open), never a half-written entry.
 //   - Every entry is wrapped in a versioned envelope: magic, sha256
 //     checksum over the payload, then the payload itself carrying a schema
 //     tag and the full key. Reads verify all three; any mismatch — torn
@@ -25,9 +27,14 @@
 //     spec-schema change may change what a digest means.
 //
 // Layout: <dir>/<kind>/<sha256(kind,key)>.wls — one file per entry,
-// sharded by kind ("plan", "result"). Filenames are a second content hash
-// of the full key, which keeps arbitrary key strings filesystem-safe; the
-// real key is stored inside the envelope and verified on read.
+// sharded by kind ("plan", "result", "job"). Filenames are a second
+// content hash of the full key, which keeps arbitrary key strings
+// filesystem-safe; the real key is stored inside the envelope and
+// verified on read.
+//
+// All disk access goes through a FileSystem, so fault-injection tests
+// (internal/fault) can interpose torn writes and IO errors; Open uses
+// the real disk.
 package store
 
 import (
@@ -47,12 +54,15 @@ import (
 	"repro/internal/spec"
 )
 
-// KindPlan and KindResult are the entry kinds the daemon uses. The store
-// itself is kind-agnostic; kinds shard the directory layout and the key
-// space.
+// KindPlan, KindResult and KindJob are the entry kinds the daemon uses.
+// The store itself is kind-agnostic; kinds shard the directory layout and
+// the key space. KindJob is the accepted-job journal: one entry per
+// non-terminal submission, deleted when the job reaches a terminal state,
+// recovered on boot (see internal/service).
 const (
 	KindPlan   = "plan"
 	KindResult = "result"
+	KindJob    = "job"
 )
 
 // formatVersion is the on-disk envelope format version. Bump on any
@@ -67,6 +77,7 @@ var magic = [8]byte{'W', 'L', 'S', 'T', 'O', 'R', 'E', '1'}
 // equal payloads).
 type Store struct {
 	dir  string
+	fs   FileSystem
 	logf func(format string, args ...any)
 
 	hits    atomic.Int64
@@ -88,15 +99,22 @@ type Stats struct {
 // Open opens (creating if needed) the store rooted at dir and sweeps any
 // temp files left by a crashed writer.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, OSFileSystem())
+}
+
+// OpenFS is Open over an explicit FileSystem — the seam fault-injection
+// tests use to exercise torn writes, EIO and ENOSPC against the real
+// store code.
+func OpenFS(dir string, fsys FileSystem) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	for _, kind := range []string{KindPlan, KindResult} {
+	for _, kind := range []string{KindPlan, KindResult, KindJob} {
 		if err := os.MkdirAll(filepath.Join(dir, kind), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %v", err)
 		}
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, fs: fsys}
 	s.sweepTemp()
 	return s, nil
 }
@@ -140,7 +158,10 @@ type envelope struct {
 	Data   []byte
 }
 
-// Put serializes v (with encoding/gob) under (kind, key), atomically.
+// Put serializes v (with encoding/gob) under (kind, key), atomically and
+// durably: the temp file is fsynced before the rename and the directory
+// after it, so a completed Put survives power loss, not just process
+// death.
 func (s *Store) Put(kind, key string, v any) error {
 	var data bytes.Buffer
 	if err := gob.NewEncoder(&data).Encode(v); err != nil {
@@ -153,29 +174,41 @@ func (s *Store) Put(kind, key string, v any) error {
 	}
 
 	final := s.path(kind, key)
-	tmp, err := os.CreateTemp(filepath.Dir(final), ".put-*.tmp")
+	tmp, err := s.fs.CreateTemp(filepath.Dir(final), ".put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("store: %v", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after successful rename
 
 	sum := sha256.Sum256(payload.Bytes())
 	var hdr [8 + 32 + 8]byte
 	copy(hdr[:8], magic[:])
 	copy(hdr[8:40], sum[:])
 	binary.BigEndian.PutUint64(hdr[40:48], uint64(payload.Len()))
-	if _, err := tmp.Write(hdr[:]); err == nil {
-		_, err = tmp.Write(payload.Bytes())
+	_, werr := tmp.Write(hdr[:])
+	if werr == nil {
+		_, werr = tmp.Write(payload.Bytes())
 	}
-	if err != nil {
+	if werr != nil {
 		tmp.Close()
-		return fmt.Errorf("store: write %s: %v", final, err)
+		return fmt.Errorf("store: write %s: %v", final, werr)
+	}
+	// fsync before rename: without it the rename can be durable while the
+	// data is not, and a power cut installs a hole where the entry was.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync %s: %v", tmp.Name(), err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: close %s: %v", tmp.Name(), err)
 	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := s.fs.Rename(tmp.Name(), final); err != nil {
 		return fmt.Errorf("store: install %s: %v", final, err)
+	}
+	// fsync the directory: the rename itself lives in directory metadata
+	// until flushed.
+	if err := s.fs.SyncDir(filepath.Dir(final)); err != nil {
+		return fmt.Errorf("store: sync dir for %s: %v", final, err)
 	}
 	s.writes.Add(1)
 	return nil
@@ -189,7 +222,7 @@ func (s *Store) Put(kind, key string, v any) error {
 // from scratch and the next Put repairs the store.
 func (s *Store) Get(kind, key string, v any) bool {
 	path := s.path(kind, key)
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if err != nil {
 		s.misses.Add(1)
 		return false
@@ -200,42 +233,17 @@ func (s *Store) Get(kind, key string, v any) bool {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
 		s.logfOrNop("store: corrupt %s entry for %s (%v); removed, will rebuild", kind, key, err)
-		os.Remove(path)
+		s.fs.Remove(path)
 		return false
 	}
 	s.hits.Add(1)
 	return true
 }
 
-func (s *Store) decode(f *os.File, kind, key string, v any) error {
-	var hdr [8 + 32 + 8]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return fmt.Errorf("short header: %v", err)
-	}
-	if !bytes.Equal(hdr[:8], magic[:]) {
-		return errors.New("bad magic")
-	}
-	n := binary.BigEndian.Uint64(hdr[40:48])
-	const maxEntry = 1 << 30
-	if n > maxEntry {
-		return fmt.Errorf("payload length %d exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(f, payload); err != nil {
-		return fmt.Errorf("truncated payload: %v", err)
-	}
-	if extra, _ := f.Read(make([]byte, 1)); extra != 0 {
-		return errors.New("trailing bytes after payload")
-	}
-	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], hdr[8:40]) {
-		return errors.New("checksum mismatch")
-	}
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
-		return fmt.Errorf("envelope decode: %v", err)
-	}
-	if env.Schema != schema(kind) {
-		return fmt.Errorf("schema %q, want %q", env.Schema, schema(kind))
+func (s *Store) decode(f File, kind, key string, v any) error {
+	env, err := readEnvelope(f, kind)
+	if err != nil {
+		return err
 	}
 	if env.Key != key {
 		return fmt.Errorf("key %q does not match requested %q", env.Key, key)
@@ -246,9 +254,87 @@ func (s *Store) decode(f *os.File, kind, key string, v any) error {
 	return nil
 }
 
+// readEnvelope verifies magic, length, checksum and schema and returns
+// the envelope (which carries the logical key alongside the payload).
+func readEnvelope(f io.Reader, kind string) (*envelope, error) {
+	var hdr [8 + 32 + 8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("short header: %v", err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, errors.New("bad magic")
+	}
+	n := binary.BigEndian.Uint64(hdr[40:48])
+	const maxEntry = 1 << 30
+	if n > maxEntry {
+		return nil, fmt.Errorf("payload length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("truncated payload: %v", err)
+	}
+	if extra, _ := f.Read(make([]byte, 1)); extra != 0 {
+		return nil, errors.New("trailing bytes after payload")
+	}
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], hdr[8:40]) {
+		return nil, errors.New("checksum mismatch")
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("envelope decode: %v", err)
+	}
+	if env.Schema != schema(kind) {
+		return nil, fmt.Errorf("schema %q, want %q", env.Schema, schema(kind))
+	}
+	return &env, nil
+}
+
+// ForEach decodes every intact entry of kind into a fresh value produced
+// by newV and passes it, with the entry's logical key, to fn. Corrupt
+// entries are disposed of exactly as in Get (counted, logged, removed).
+// Iteration order is unspecified. The service uses it to scan the job
+// journal on boot.
+func (s *Store) ForEach(kind string, newV func() any, fn func(key string, v any)) error {
+	dir := filepath.Join(s.dir, kind)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wls") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if err := func() error {
+			f, err := s.fs.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			env, err := readEnvelope(f, kind)
+			if err != nil {
+				return err
+			}
+			v := newV()
+			if err := gob.NewDecoder(bytes.NewReader(env.Data)).Decode(v); err != nil {
+				return fmt.Errorf("payload decode: %v", err)
+			}
+			s.hits.Add(1)
+			fn(env.Key, v)
+			return nil
+		}(); err != nil {
+			s.corrupt.Add(1)
+			s.misses.Add(1)
+			s.logfOrNop("store: corrupt %s entry at %s (%v); removed", kind, e.Name(), err)
+			s.fs.Remove(path)
+		}
+	}
+	return nil
+}
+
 // Delete removes the entry under (kind, key), if present.
 func (s *Store) Delete(kind, key string) {
-	os.Remove(s.path(kind, key))
+	s.fs.Remove(s.path(kind, key))
 }
 
 // PlanKey is the store key for a plan snapshot: the warm state is a pure

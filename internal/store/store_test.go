@@ -260,3 +260,109 @@ func TestStoreConcurrentAccess(t *testing.T) {
 		t.Fatalf("concurrent access produced %d corrupt reads", st.Corrupt)
 	}
 }
+
+// recordingFS wraps the real disk and logs the durability-relevant call
+// sequence, so the test below can assert the write protocol itself:
+// data fsync before rename, directory fsync after.
+type recordingFS struct {
+	inner FileSystem
+	mu    sync.Mutex
+	ops   []string
+}
+
+func (r *recordingFS) log(op string) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+func (r *recordingFS) Open(name string) (File, error) { return r.inner.Open(name) }
+
+func (r *recordingFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := r.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingFile{File: f, fs: r}, nil
+}
+
+func (r *recordingFS) Rename(oldpath, newpath string) error {
+	r.log("rename")
+	return r.inner.Rename(oldpath, newpath)
+}
+
+func (r *recordingFS) Remove(name string) error { return r.inner.Remove(name) }
+
+func (r *recordingFS) SyncDir(dir string) error {
+	r.log("syncdir")
+	return r.inner.SyncDir(dir)
+}
+
+type recordingFile struct {
+	File
+	fs *recordingFS
+}
+
+func (f *recordingFile) Sync() error {
+	f.fs.log("sync")
+	return f.File.Sync()
+}
+
+// TestPutFsyncOrdering asserts the durable-write protocol: the temp file
+// is fsynced before the rename installs it, and the directory is fsynced
+// after — the sequence that makes "Put returned nil" hold across power
+// loss, not just process crash.
+func TestPutFsyncOrdering(t *testing.T) {
+	rfs := &recordingFS{inner: OSFileSystem()}
+	s, err := OpenFS(t.TempDir(), rfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindPlan, PlanKey("sha256:abc", 64), samplePlan()); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sync", "rename", "syncdir"}
+	if len(rfs.ops) != len(want) {
+		t.Fatalf("ops = %v; want %v", rfs.ops, want)
+	}
+	for i := range want {
+		if rfs.ops[i] != want[i] {
+			t.Fatalf("ops = %v; want %v", rfs.ops, want)
+		}
+	}
+}
+
+// TestForEach scans a kind, yielding intact entries with their logical
+// keys and disposing of corrupt ones.
+func TestForEach(t *testing.T) {
+	s := testStore(t)
+	type entry struct{ N int }
+	keys := map[string]int{"job-a": 1, "job-b": 2, "job-c": 3}
+	for k, n := range keys {
+		if err := s.Put(KindJob, k, &entry{N: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one entry in place: truncate its payload.
+	victim := s.path(KindJob, "job-b")
+	if err := os.Truncate(victim, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]int{}
+	err := s.ForEach(KindJob, func() any { return new(entry) }, func(key string, v any) {
+		got[key] = v.(*entry).N
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["job-a"] != 1 || got["job-c"] != 3 {
+		t.Fatalf("ForEach yielded %v; want job-a:1 and job-c:3", got)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt = %d; want 1", st.Corrupt)
+	}
+	if s.Len(KindJob) != 2 {
+		t.Fatalf("Len = %d after corrupt disposal; want 2", s.Len(KindJob))
+	}
+}
