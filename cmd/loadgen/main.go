@@ -67,6 +67,7 @@ func main() {
 		width    = flag.Int("budget-width", 8, "budget_width optimizer option")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-job submit+wait timeout")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		showTr   = flag.Bool("trace", false, "after the run, fetch and print the slowest job's span tree")
 
 		retries   = flag.Int("retries", 4, "max attempts per call (1 disables retries)")
 		retryBase = flag.Duration("retry-base", 100*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
@@ -98,6 +99,18 @@ func main() {
 	rep, err := run(context.Background(), cl, cfg)
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
+	}
+	if *showTr && rep.SlowestJobID != "" {
+		// The tree goes to stderr so -json keeps a clean machine-readable
+		// stdout; through a router the tree is stitched across processes.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		in, terr := cl.JobTrace(ctx, rep.SlowestJobID)
+		cancel()
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: trace of %s: %v\n", rep.SlowestJobID, terr)
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: slowest job %s (%.1fms):\n%s", rep.SlowestJobID, rep.MaxMs, in.Tree())
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -138,6 +151,9 @@ type Report struct {
 	P90Ms      float64        `json:"p90_ms"`
 	P99Ms      float64        `json:"p99_ms"`
 	MaxMs      float64        `json:"max_ms"`
+	// SlowestJobID names the completed job behind MaxMs — the one worth
+	// pulling the span tree for (-trace does exactly that).
+	SlowestJobID string `json:"slowest_job_id,omitempty"`
 }
 
 func (r *Report) String() string {
@@ -191,27 +207,27 @@ func specBody(cfg runConfig, i int) []byte {
 }
 
 // oneJob submits the i-th job and waits for its terminal state, returning
-// the end-to-end latency, whether it was a cache hit, and an error class
-// ("" on success, an api code or "transport" otherwise).
-func oneJob(ctx context.Context, cl *api.Client, cfg runConfig, i int) (time.Duration, bool, string) {
+// the job ID, the end-to-end latency, whether it was a cache hit, and an
+// error class ("" on success, an api code or "transport" otherwise).
+func oneJob(ctx context.Context, cl *api.Client, cfg runConfig, i int) (string, time.Duration, bool, string) {
 	ctx, cancel := context.WithTimeout(ctx, cfg.JobTimeout)
 	defer cancel()
 	start := time.Now()
 	info, _, err := cl.SubmitBody(ctx, specBody(cfg, i))
 	if err != nil {
-		return time.Since(start), false, errClass(err)
+		return "", time.Since(start), false, errClass(err)
 	}
 	hit := info.CacheHit
 	if !info.State.Terminal() {
 		fin, err := cl.Wait(ctx, info.ID)
 		if err != nil {
-			return time.Since(start), hit, errClass(err)
+			return info.ID, time.Since(start), hit, errClass(err)
 		}
 		if fin.State != service.JobDone {
-			return time.Since(start), hit, "state_" + string(fin.State)
+			return info.ID, time.Since(start), hit, "state_" + string(fin.State)
 		}
 	}
-	return time.Since(start), hit, ""
+	return info.ID, time.Since(start), hit, ""
 }
 
 func errClass(err error) string {
@@ -232,6 +248,7 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 	}
 
 	type sample struct {
+		id  string
 		lat time.Duration
 		hit bool
 		cls string
@@ -252,8 +269,8 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					lat, hit, cls := oneJob(ctx, cl, cfg, i)
-					samples[i] = sample{lat, hit, cls}
+					id, lat, hit, cls := oneJob(ctx, cl, cfg, i)
+					samples[i] = sample{id, lat, hit, cls}
 				}
 			}()
 		}
@@ -281,8 +298,8 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				lat, hit, cls := oneJob(ctx, cl, cfg, i)
-				samples[i] = sample{lat, hit, cls}
+				id, lat, hit, cls := oneJob(ctx, cl, cfg, i)
+				samples[i] = sample{id, lat, hit, cls}
 			}(i)
 		}
 		wg.Wait()
@@ -299,6 +316,7 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 		DurationS: time.Since(start).Seconds(),
 	}
 	lats := make([]time.Duration, 0, cfg.Jobs)
+	var slowest time.Duration
 	for _, s := range samples {
 		if s.cls != "" {
 			rep.Errors[s.cls]++
@@ -307,6 +325,9 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 		rep.Completed++
 		if s.hit {
 			rep.CacheHits++
+		}
+		if s.lat > slowest {
+			slowest, rep.SlowestJobID = s.lat, s.id
 		}
 		lats = append(lats, s.lat)
 	}

@@ -68,7 +68,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
 	"os"
@@ -77,44 +77,54 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		npsd     = flag.Int("npsd", 0, "evaluation engine PSD bins (0 = 256)")
-		workers  = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
-		inner    = flag.Int("inner", 0, "per-job oracle pool width (0 = 1)")
-		cache    = flag.Int("cache", 0, "result cache entries (0 = 128)")
-		queue    = flag.Int("queue", 0, "pending job queue bound (0 = 256)")
-		maxBody  = flag.Int64("max-body", 1<<20, "maximum request body bytes")
-		node     = flag.String("node", "auto", "job-ID prefix distinguishing this backend in a cluster ('auto' = random, '' = none)")
-		storeDir = flag.String("store", "", "persistent warm-store directory (plans + results survive restarts); empty disables")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
+		addr      = flag.String("addr", ":8080", "listen address")
+		npsd      = flag.Int("npsd", 0, "evaluation engine PSD bins (0 = 256)")
+		workers   = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+		inner     = flag.Int("inner", 0, "per-job oracle pool width (0 = 1)")
+		cache     = flag.Int("cache", 0, "result cache entries (0 = 128)")
+		queue     = flag.Int("queue", 0, "pending job queue bound (0 = 256)")
+		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		node      = flag.String("node", "auto", "job-ID prefix distinguishing this backend in a cluster ('auto' = random, '' = none)")
+		storeDir  = flag.String("store", "", "persistent warm-store directory (plans + results survive restarts); empty disables")
+		pprof     = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
+		logFormat = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logFormat)
+	slog.SetDefault(logger)
+
+	rec := trace.NewRecorder(trace.RecorderConfig{})
+	met := api.NewServerMetrics(nil)
 
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
 		st, err = store.Open(*storeDir)
 		if err != nil {
-			log.Fatalf("wloptd: %v", err)
+			logger.Error("store open failed", "dir", *storeDir, "err", err)
+			os.Exit(1)
 		}
-		st.SetLogf(log.Printf)
-		log.Printf("wloptd: persistent store at %s (%d plans, %d results)",
-			*storeDir, st.Len(store.KindPlan), st.Len(store.KindResult))
+		st.SetSlog(logger.With("component", "store"))
+		logger.Info("persistent store opened", "dir", *storeDir,
+			"plans", st.Len(store.KindPlan), "results", st.Len(store.KindResult))
 	}
 
 	if *pprof != "" {
 		// Separate listener on the default mux (where net/http/pprof
 		// registers), so the debug surface never shares the API address.
 		go func() {
-			log.Printf("wloptd: pprof on http://%s/debug/pprof/", *pprof)
+			logger.Info("pprof listening", "url", "http://"+*pprof+"/debug/pprof/")
 			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				log.Printf("wloptd: pprof: %v", err)
+				logger.Error("pprof serve failed", "err", err)
 			}
 		}()
 	}
@@ -124,10 +134,18 @@ func main() {
 		nodeID = randomNodeID()
 	}
 	if nodeID != "" {
-		log.Printf("wloptd: node ID %s", nodeID)
+		logger.Info("node ID assigned", "node", nodeID)
 	}
 
-	met := api.NewServerMetrics(nil)
+	// Plan-build observability: every cold plan build and snapshot restore
+	// lands in one histogram (by kind) and one debug log line.
+	planSeconds := met.Registry().Histogram("wlopt_plan_seconds",
+		"Time spent building or restoring evaluation plans, by kind.",
+		[]float64{.0005, .001, .005, .01, .05, .1, .5, 1, 5}, "kind", core.PlanBuilt)
+	planRestoreSeconds := met.Registry().Histogram("wlopt_plan_seconds",
+		"Time spent building or restoring evaluation plans, by kind.",
+		[]float64{.0005, .001, .005, .01, .05, .1, .5, 1, 5}, "kind", core.PlanRestored)
+
 	mgr := service.New(service.Config{
 		NPSD:            *npsd,
 		Workers:         *workers,
@@ -136,14 +154,28 @@ func main() {
 		QueueSize:       *queue,
 		Store:           st,
 		NodeID:          nodeID,
-		OnJobDone:       met.ObserveJob,
+		Tracer:          rec,
+		PlanObserver: func(ev core.PlanEvent) {
+			if ev.Kind == core.PlanBuilt {
+				planSeconds.Observe(ev.Duration.Seconds())
+			} else {
+				planRestoreSeconds.Observe(ev.Duration.Seconds())
+			}
+			logger.Debug("plan ready", "kind", ev.Kind, "duration_s", ev.Duration.Seconds())
+		},
+		OnJobDone: func(info *service.JobInfo) {
+			met.ObserveJob(info)
+			logger.Info("job terminal",
+				"job_id", info.ID, "trace_id", info.TraceID, "state", info.State,
+				"strategy", info.Strategy, "cache_hit", info.CacheHit, "error", info.Error)
+		},
 	})
 	if n := mgr.Stats().JobsRecovered; n > 0 {
-		log.Printf("wloptd: recovered %d journaled job(s) from %s", n, *storeDir)
+		logger.Info("recovered journaled jobs", "count", n, "dir", *storeDir)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(mgr, *maxBody, met, *addr),
+		Handler:           newMux(mgr, *maxBody, met, *addr, rec),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -151,13 +183,13 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("wloptd: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("wloptd: shutting down")
+		logger.Info("shutting down")
 	case err := <-errCh:
-		log.Printf("wloptd: serve: %v", err)
+		logger.Error("serve failed", "err", err)
 		mgr.Close()
 		os.Exit(1)
 	}
@@ -167,18 +199,27 @@ func main() {
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("wloptd: shutdown: %v", err)
+		logger.Error("shutdown incomplete", "err", err)
 		srv.Close()
 	}
-	log.Printf("wloptd: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger: text (the default, journald- and
+// human-friendly) or JSON (log shippers), on stderr either way.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 // newMux wires the daemon's handler: every route is mounted from the
 // shared internal/api layer (the router and the tests mount the same
 // handlers); nothing is hand-rolled here.
-func newMux(mgr *service.Manager, maxBody int64, met *api.ServerMetrics, addr string) *http.ServeMux {
+func newMux(mgr *service.Manager, maxBody int64, met *api.ServerMetrics, addr string, rec *trace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
-	api.NewServer(mgr, api.ServerConfig{MaxBody: maxBody, Addr: addr, Metrics: met}).Mount(mux)
+	api.NewServer(mgr, api.ServerConfig{MaxBody: maxBody, Addr: addr, Metrics: met, Tracer: rec}).Mount(mux)
 	return mux
 }
 

@@ -32,7 +32,7 @@ func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service
 	met := api.NewServerMetrics(nil)
 	cfg.OnJobDone = met.ObserveJob
 	mgr := service.New(cfg)
-	ts := httptest.NewServer(newMux(mgr, 1<<20, met, "test"))
+	ts := httptest.NewServer(newMux(mgr, 1<<20, met, "test", nil))
 	t.Cleanup(func() {
 		ts.Close()
 		mgr.Close()
@@ -364,7 +364,7 @@ func TestDaemonErrorsAndListing(t *testing.T) {
 // TestDaemonBodyLimit pins the request size guard.
 func TestDaemonBodyLimit(t *testing.T) {
 	mgr := service.New(service.Config{NPSD: 64, Workers: 1})
-	ts := httptest.NewServer(newMux(mgr, 128, api.NewServerMetrics(nil), "test")) // tiny limit
+	ts := httptest.NewServer(newMux(mgr, 128, api.NewServerMetrics(nil), "test", nil)) // tiny limit
 	t.Cleanup(func() { ts.Close(); mgr.Close() })
 	big := fmt.Sprintf(`{"system":"dwt97(fig3)","options":{"budget_width":8},"pad":%q}`,
 		strings.Repeat("x", 4096))

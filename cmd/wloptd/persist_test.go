@@ -100,7 +100,7 @@ func TestDaemonRestartPersistence(t *testing.T) {
 
 	// First daemon lifetime: run the job, write through, shut down.
 	mgr1 := service.New(service.Config{NPSD: 64, Workers: 2, Store: openStore()})
-	ts1 := httptest.NewServer(newMux(mgr1, 1<<20, api.NewServerMetrics(nil), "test"))
+	ts1 := httptest.NewServer(newMux(mgr1, 1<<20, api.NewServerMetrics(nil), "test", nil))
 	var first service.JobInfo
 	if code := httpJSON(t, http.MethodPost, ts1.URL+"/v1/jobs", body, &first); code != http.StatusAccepted {
 		t.Fatalf("first submit status %d", code)
@@ -119,7 +119,7 @@ func TestDaemonRestartPersistence(t *testing.T) {
 	// Second daemon lifetime, same directory: the duplicate is a 200 from
 	// the persistent tier, with zero plans built in this process.
 	mgr2 := service.New(service.Config{NPSD: 64, Workers: 2, Store: openStore()})
-	ts2 := httptest.NewServer(newMux(mgr2, 1<<20, api.NewServerMetrics(nil), "test"))
+	ts2 := httptest.NewServer(newMux(mgr2, 1<<20, api.NewServerMetrics(nil), "test", nil))
 	t.Cleanup(func() { ts2.Close(); mgr2.Close() })
 	var dup service.JobInfo
 	if code := httpJSON(t, http.MethodPost, ts2.URL+"/v1/jobs", body, &dup); code != http.StatusOK {

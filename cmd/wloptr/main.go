@@ -33,7 +33,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,8 +54,12 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
 		ejectAfter    = flag.Int("eject-after", 3, "consecutive probe failures before ejection")
 		readmitAfter  = flag.Int("readmit-after", 2, "consecutive probe successes before readmission")
+		logFormat     = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logFormat)
+	slog.SetDefault(logger)
 
 	var pool []string
 	for _, b := range strings.Split(*backends, ",") {
@@ -64,7 +68,8 @@ func main() {
 		}
 	}
 	if len(pool) == 0 {
-		log.Fatal("wloptr: -backends is required (comma-separated base URLs)")
+		logger.Error("-backends is required (comma-separated base URLs)")
+		os.Exit(1)
 	}
 
 	rt := router.New(router.Config{
@@ -78,7 +83,7 @@ func main() {
 		},
 		MaxBody: *maxBody,
 		Addr:    *addr,
-		Logf:    log.Printf,
+		Log:     logger,
 	})
 	rt.Start()
 	defer rt.Close()
@@ -92,20 +97,29 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("wloptr: routing %d backends on %s", len(pool), *addr)
+	logger.Info("listening", "addr", *addr, "backends", len(pool))
 
 	select {
 	case <-ctx.Done():
-		log.Printf("wloptr: shutting down")
+		logger.Info("shutting down")
 	case err := <-errCh:
-		log.Printf("wloptr: serve: %v", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("wloptr: shutdown: %v", err)
+		logger.Error("shutdown incomplete", "err", err)
 		srv.Close()
 	}
-	log.Printf("wloptr: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger: text (the default) or JSON, on
+// stderr either way.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }

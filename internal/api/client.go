@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // Client is the typed wire-API client. The router proxies through it, the
@@ -215,6 +216,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, query url.Valu
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -309,6 +311,16 @@ func (c *Client) Cancel(ctx context.Context, id string) (*service.JobInfo, error
 		return nil, err
 	}
 	return &info, nil
+}
+
+// JobTrace fetches the job's recorded span tree. Through the router the
+// tree is stitched: the proxy's own spans precede the backend's.
+func (c *Client) JobTrace(ctx context.Context, id string) (*trace.Info, error) {
+	var in trace.Info
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, nil, &in); err != nil {
+		return nil, err
+	}
+	return &in, nil
 }
 
 // Systems lists the registry systems the target accepts by name.
@@ -407,6 +419,7 @@ func (c *Client) watchOnce(ctx context.Context, id string, fn func(service.Event
 	if err != nil {
 		return false, err
 	}
+	trace.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return false, err

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/spec"
+	"repro/internal/trace"
 )
 
 // ServerConfig tunes the mounted API surface.
@@ -29,6 +31,12 @@ type ServerConfig struct {
 	// set; pass NewServerMetrics' result when the manager's OnJobDone
 	// hook should feed the job latency histograms.
 	Metrics *ServerMetrics
+	// Tracer, when non-nil, opens a root span per API request (joining
+	// an inbound X-Wlopt-Trace header), exposes GET /v1/jobs/{id}/trace
+	// and /debug/traces, and stamps the trace ID on every response. Pass
+	// the same recorder as service.Config.Tracer so job spans land in
+	// the request's trace.
+	Tracer *trace.Recorder
 }
 
 // Server mounts the versioned wire API over a service.Manager. Both the
@@ -59,6 +67,7 @@ func NewServer(mgr *service.Manager, cfg ServerConfig) *Server {
 	}
 	s := &Server{mgr: mgr, cfg: cfg, met: cfg.Metrics, start: time.Now()}
 	s.met.bindStats(s.cachedStats)
+	RegisterBuildInfo(s.met.Registry(), cfg.Version)
 	return s
 }
 
@@ -69,8 +78,24 @@ func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.submit))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("list", s.list))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("get", s.get))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.instrument("trace", s.jobTrace))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.cancel))
 	mux.Handle("GET /metrics", s.met.Registry().Handler())
+	if s.cfg.Tracer != nil {
+		mux.HandleFunc("GET /debug/traces", s.cfg.Tracer.ServeList)
+		mux.HandleFunc("GET /debug/traces/{id}", s.cfg.Tracer.ServeDetail)
+	}
+}
+
+// RegisterBuildInfo exposes a constant-1 wlopt_build_info gauge labelled
+// with the wire version and Go runtime, so scrapes can tell which build
+// answers after a rolling restart. Both daemons register it; repeat
+// registrations of the same identity are no-ops.
+func RegisterBuildInfo(reg *metrics.Registry, version string) {
+	reg.GaugeFunc("wlopt_build_info",
+		"Build identity; constant 1, labelled by wire version and Go runtime.",
+		func() float64 { return 1 },
+		"version", version, "go", runtime.Version())
 }
 
 // Handler returns a fresh mux with the API mounted — the one-call path
@@ -174,7 +199,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	info, err := s.mgr.Submit(req)
+	info, err := s.mgr.SubmitCtx(r.Context(), req)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -184,6 +209,28 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, info)
+}
+
+// jobTrace serves GET /v1/jobs/{id}/trace: the job's recorded span tree.
+// 404s cover an unknown job, a server without tracing, and a trace
+// already evicted from the recorder's ring.
+func (s *Server) jobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, err := s.mgr.Get(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.cfg.Tracer == nil || info.TraceID == "" {
+		writeErr(w, fmt.Errorf("%w: no trace recorded for job %q", service.ErrNotFound, id))
+		return
+	}
+	ti, ok := s.cfg.Tracer.Snapshot(info.TraceID)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: trace %s evicted", service.ErrNotFound, info.TraceID))
+		return
+	}
+	writeJSON(w, http.StatusOK, ti)
 }
 
 // ParseSubmitBody decodes a POST /v1/jobs body: a service.Request
@@ -319,18 +366,34 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, info)
 }
 
-// instrument wraps a handler with request counting and latency
-// observation under the given route label.
+// instrument wraps a handler with request counting, latency observation
+// and — when a tracer is configured — a root span per request under the
+// given route label. The span joins an inbound X-Wlopt-Trace header
+// (parenting under the sender's span) and the trace ID is echoed on the
+// response so callers can fetch the tree later. Health probes are
+// deliberately untraced: they would churn the recent-trace ring with
+// noise traces every few hundred milliseconds.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.met.requestDuration(route)
+	traced := s.cfg.Tracer != nil && route != "healthz"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		var sp *trace.Span
+		if traced {
+			id, parent, _ := trace.Extract(r.Header)
+			tr := s.cfg.Tracer.StartTrace(id)
+			sp = tr.StartSpanRemote("http."+route, parent)
+			w.Header().Set(trace.Header, tr.ID())
+			r = r.WithContext(trace.With(r.Context(), sp))
+		}
 		h(sw, r)
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK
 		}
+		sp.SetAttr("code", strconv.Itoa(code))
+		sp.End()
 		s.met.requestDone(route, code)
 		hist.Observe(time.Since(start).Seconds())
 	}
@@ -392,6 +455,13 @@ func (m *ServerMetrics) ObserveJob(info *service.JobInfo) {
 	m.reg.Histogram("wlopt_job_duration_seconds",
 		"Search wall time per job by terminal state.", nil,
 		"outcome", string(info.State)).Observe(run)
+	if info.Started != nil {
+		// Queue pressure: submitted→started wait for jobs that reached a
+		// worker (cache hits and queue-cancelled jobs never start).
+		m.reg.Histogram("wlopt_job_queue_wait_seconds",
+			"Queue wait (submission to worker pickup) per executed job.", nil).
+			Observe(info.Started.Sub(info.Submitted).Seconds())
+	}
 	m.reg.Counter("wlopt_jobs_terminal_total",
 		"Jobs reaching a terminal state.", "outcome", string(info.State)).Inc()
 }

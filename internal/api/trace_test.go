@@ -1,0 +1,138 @@
+package api
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// newTracedServer is newTestServer with a shared trace recorder wired
+// into both the API server and the service manager.
+func newTracedServer(t *testing.T) (*Client, *trace.Recorder) {
+	t.Helper()
+	rec := trace.NewRecorder(trace.RecorderConfig{})
+	mgr := service.New(service.Config{NPSD: 64, Workers: 1, Tracer: rec})
+	srv := NewServer(mgr, ServerConfig{Addr: "test:0", Tracer: rec})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return NewClient(ts.URL), rec
+}
+
+// TestJobTraceEndpoint pins the trace API: a submitted job's span tree is
+// served on /v1/jobs/{id}/trace with the HTTP root span joined to the job
+// span, and the response echoes the trace ID header.
+func TestJobTraceEndpoint(t *testing.T) {
+	cl, _ := newTracedServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	info, err := cl.Submit(ctx, service.Request{System: "dwt97(fig3)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if info.TraceID == "" {
+		t.Fatal("submitted job carries no trace ID")
+	}
+	if _, err := cl.Wait(ctx, info.ID); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	in, err := cl.JobTrace(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("trace fetch: %v", err)
+	}
+	if in.TraceID != info.TraceID {
+		t.Errorf("trace ID %q, job reported %q", in.TraceID, info.TraceID)
+	}
+	var haveHTTP, haveJob, haveSearch bool
+	ids := map[string]bool{}
+	for _, sp := range in.Spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range in.Spans {
+		switch sp.Name {
+		case "http.submit":
+			haveHTTP = true
+			if sp.Attrs["code"] != "202" {
+				t.Errorf("http.submit code attr = %v", sp.Attrs)
+			}
+		case "job":
+			haveJob = true
+			// The job span is parented to the submit request's root span —
+			// that parent must exist inside the same tree.
+			if sp.Parent == "" || !ids[sp.Parent] {
+				t.Errorf("job span parent %q not in tree", sp.Parent)
+			}
+		case "search":
+			haveSearch = true
+		}
+	}
+	if !haveHTTP || !haveJob || !haveSearch {
+		t.Fatalf("missing spans (http=%v job=%v search=%v):\n%s", haveHTTP, haveJob, haveSearch, in.Tree())
+	}
+
+	// Unknown job: 404 with the envelope code.
+	if _, err := cl.JobTrace(ctx, "j999999"); err == nil {
+		t.Error("trace of unknown job did not error")
+	}
+}
+
+// TestTraceHeaderPropagation pins the wire contract: an inbound
+// X-Wlopt-Trace header joins the caller's trace (same recorder), and
+// every traced response echoes the trace ID back.
+func TestTraceHeaderPropagation(t *testing.T) {
+	cl, rec := newTracedServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Simulate a proxy: mint a trace, inject its header via the context
+	// path the router uses, and submit through the typed client.
+	tr := rec.StartTrace("")
+	root := tr.StartSpan("proxy", nil)
+	info, err := cl.Submit(trace.With(ctx, root), service.Request{System: "decimator(M=4)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	root.End()
+	if info.TraceID != tr.ID() {
+		t.Fatalf("job trace ID %q did not join caller trace %q", info.TraceID, tr.ID())
+	}
+	if _, err := cl.Wait(ctx, info.ID); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	in, ok := rec.Snapshot(tr.ID())
+	if !ok {
+		t.Fatal("joined trace missing from recorder")
+	}
+	var httpSpan, proxySpan string
+	for _, sp := range in.Spans {
+		switch sp.Name {
+		case "proxy":
+			proxySpan = sp.ID
+		case "http.submit":
+			httpSpan = sp.Parent
+		}
+	}
+	if proxySpan == "" || httpSpan != proxySpan {
+		t.Errorf("http.submit parent %q, want proxy span %q;\n%s", httpSpan, proxySpan, in.Tree())
+	}
+
+	// Raw probe: the response must echo the trace ID header.
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL()+"/v1/jobs/"+info.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(trace.Header); got == "" {
+		t.Error("traced response missing X-Wlopt-Trace echo")
+	}
+}

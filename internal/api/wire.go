@@ -36,7 +36,7 @@ const APIVersion = "v1"
 
 // ServerVersion identifies the serving-tier build on /healthz; bump it
 // alongside wire-visible behavior changes.
-const ServerVersion = "wlopt/8"
+const ServerVersion = "wlopt/9"
 
 // Error codes carried in the error envelope. Clients switch on these, not
 // on message text.

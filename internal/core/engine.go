@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/psd"
 	"repro/internal/sfg"
@@ -132,6 +133,11 @@ type Engine struct {
 	planBuilds   atomic.Int64 // plans built from scratch (propagation + FFT)
 	planRestores atomic.Int64 // plans installed from snapshots (see snapshot.go)
 
+	// planObs, when set, observes every plan build/restore with its
+	// duration — the timing companion to the counters above, feeding
+	// tracing spans and latency histograms in the serving tier.
+	planObs atomic.Pointer[func(PlanEvent)]
+
 	mu        sync.Mutex // serializes plan builds, eviction, cap/mode changes
 	planCap   int
 	forceFull bool
@@ -252,33 +258,84 @@ func (e *Engine) plan(g *sfg.Graph) (*graphPlan, error) {
 		en.lastUse.Store(e.tick.Add(1))
 		return en.plan, nil
 	}
-	return e.planMiss(g)
+	p, _, err := e.planMiss(g)
+	return p, err
 }
 
-// planMiss builds and publishes the plan for g under the writer lock. A
+// planMiss builds and publishes the plan for g under the writer lock,
+// reporting whether this call ran the build (false on a lost race). A
 // concurrent reader keeps using whichever snapshot it loaded — plans are
 // immutable, so an entry evicted from the published map stays valid for
 // the readers still holding it and simply re-plans on its next lookup.
-func (e *Engine) planMiss(g *sfg.Graph) (*graphPlan, error) {
+func (e *Engine) planMiss(g *sfg.Graph) (*graphPlan, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.plans.Load()
 	if en, ok := cur.m[g]; ok { // lost a build race: reuse the winner's plan
 		en.lastUse.Store(e.tick.Add(1))
-		return en.plan, nil
+		return en.plan, false, nil
 	}
+	start := time.Now()
 	p, err := newGraphPlanMode(g, e.npsd, e.forceFull)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.planBuilds.Add(1)
+	e.observePlan(PlanEvent{Kind: PlanBuilt, Duration: time.Since(start)})
 	next := clonePlanMap(cur.m, 1)
 	en := &planEntry{plan: p}
 	en.lastUse.Store(e.tick.Add(1))
 	next[g] = en
 	evictLRU(next, e.planCap, g)
 	e.plans.Store(&planMap{m: next})
-	return p, nil
+	return p, true, nil
+}
+
+// PlanEvent reports one plan entering the cache and how long it took.
+type PlanEvent struct {
+	// Kind is PlanBuilt (propagation + FFT from scratch) or PlanRestored
+	// (installed from a snapshot).
+	Kind string
+	// Duration is the wall time of the build or restore.
+	Duration time.Duration
+}
+
+// PlanEvent kinds.
+const (
+	PlanBuilt    = "build"
+	PlanRestored = "restore"
+)
+
+// SetPlanObserver installs fn to be called after every plan build and
+// restore, next to the PlanBuilds/PlanRestores counter bumps. fn runs
+// under the engine's writer lock and must be fast and non-blocking; a
+// nil fn removes the observer.
+func (e *Engine) SetPlanObserver(fn func(PlanEvent)) {
+	if fn == nil {
+		e.planObs.Store(nil)
+		return
+	}
+	e.planObs.Store(&fn)
+}
+
+func (e *Engine) observePlan(ev PlanEvent) {
+	if fn := e.planObs.Load(); fn != nil {
+		(*fn)(ev)
+	}
+}
+
+// EnsurePlan plans g if no plan is cached yet, reporting whether this
+// call performed the build. Warm lookups (including plans installed by
+// RestorePlan or a concurrent builder) return built=false — the
+// serving tier uses this to time and attribute cold plan builds
+// without disturbing the lock-free hit path.
+func (e *Engine) EnsurePlan(g *sfg.Graph) (built bool, err error) {
+	if en, ok := e.plans.Load().m[g]; ok {
+		en.lastUse.Store(e.tick.Add(1))
+		return false, nil
+	}
+	_, built, err = e.planMiss(g)
+	return built, err
 }
 
 // clonePlanMap copies a snapshot map with room for extra more entries.

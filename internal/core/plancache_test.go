@@ -172,3 +172,65 @@ func TestEngineConcurrentPlanCache(t *testing.T) {
 		t.Fatalf("plan cache grew to %d under concurrency, cap 2", n)
 	}
 }
+
+// TestEnsurePlanAndObserver pins the serving tier's plan timing hooks:
+// EnsurePlan reports built exactly once per graph, and the observer fires
+// next to each PlanBuilds/PlanRestores counter bump with a sane duration.
+func TestEnsurePlanAndObserver(t *testing.T) {
+	e := NewEngine(64, 1)
+	var mu sync.Mutex
+	var events []PlanEvent
+	e.SetPlanObserver(func(ev PlanEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	g := gainGraph(0.5)
+	built, err := e.EnsurePlan(g)
+	if err != nil || !built {
+		t.Fatalf("first EnsurePlan = (%v, %v), want (true, nil)", built, err)
+	}
+	built, err = e.EnsurePlan(g)
+	if err != nil || built {
+		t.Fatalf("warm EnsurePlan = (%v, %v), want (false, nil)", built, err)
+	}
+	if e.PlanBuilds() != 1 {
+		t.Errorf("PlanBuilds = %d, want 1", e.PlanBuilds())
+	}
+
+	ps, err := e.SnapshotPlan(g)
+	if err != nil {
+		t.Fatalf("SnapshotPlan: %v", err)
+	}
+	g2 := gainGraph(0.5)
+	if err := e.RestorePlan(g2, ps); err != nil {
+		t.Fatalf("RestorePlan: %v", err)
+	}
+	if built, _ := e.EnsurePlan(g2); built {
+		t.Error("EnsurePlan rebuilt a restored plan")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("observer saw %d events, want 2: %+v", len(events), events)
+	}
+	if events[0].Kind != PlanBuilt || events[1].Kind != PlanRestored {
+		t.Errorf("event kinds = %q, %q", events[0].Kind, events[1].Kind)
+	}
+	for _, ev := range events {
+		if ev.Duration < 0 {
+			t.Errorf("negative duration in %+v", ev)
+		}
+	}
+
+	// Removing the observer stops callbacks.
+	e.SetPlanObserver(nil)
+	if built, err := e.EnsurePlan(gainGraph(0.25)); err != nil || !built {
+		t.Fatalf("EnsurePlan after observer removal = (%v, %v)", built, err)
+	}
+	if len(events) != 2 {
+		t.Errorf("observer fired after removal")
+	}
+}

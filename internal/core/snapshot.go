@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/psd"
 	"repro/internal/sfg"
@@ -120,6 +121,7 @@ func (e *Engine) SnapshotPlan(g *sfg.Graph) (*PlanSnapshot, error) {
 // evaluation tiers; only the full-propagation reference path is absent,
 // which transfer-cached plans never take.
 func (e *Engine) RestorePlan(g *sfg.Graph, ps *PlanSnapshot) error {
+	start := time.Now()
 	if ps == nil {
 		return fmt.Errorf("core: restore: nil snapshot")
 	}
@@ -196,6 +198,7 @@ func (e *Engine) RestorePlan(g *sfg.Graph, ps *PlanSnapshot) error {
 	evictLRU(next, e.planCap, g)
 	e.plans.Store(&planMap{m: next})
 	e.planRestores.Add(1)
+	e.observePlan(PlanEvent{Kind: PlanRestored, Duration: time.Since(start)})
 	return nil
 }
 

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLabelValueEscapingRoundTrip pins the exposition escaping exactly:
+// the rendered label value, unquoted by Go's string-literal rules (which
+// match the Prometheus text format for \\, \" and \n), must round-trip
+// to the original value. The old renderer pre-escaped newlines before
+// %q, so "\n" came out as literal backslash-n after one unescape.
+func TestLabelValueEscapingRoundTrip(t *testing.T) {
+	for _, val := range []string{
+		"plain",
+		"new\nline",
+		`back\slash`,
+		`qu"ote`,
+		"mixed \\ \" \n end",
+		"μnicode≤",
+	} {
+		r := New()
+		r.Counter("rt_total", "rt", "v", val).Inc()
+		var b strings.Builder
+		r.WriteText(&b)
+		out := b.String()
+		i := strings.Index(out, `v="`)
+		if i < 0 {
+			t.Fatalf("no label in exposition:\n%s", out)
+		}
+		rest := out[i+2:] // from the opening quote
+		end := len(rest)
+		for j := 1; j < len(rest); j++ { // find the closing unescaped quote
+			if rest[j] == '"' && rest[j-1] != '\\' {
+				end = j + 1
+				break
+			}
+		}
+		got, err := strconv.Unquote(rest[:end])
+		if err != nil {
+			t.Fatalf("value %q rendered unparseable %q: %v", val, rest[:end], err)
+		}
+		if got != val {
+			t.Errorf("round-trip %q -> %q", val, got)
+		}
+		// Whatever the value, the sample must stay on one line: exactly
+		// HELP + TYPE + one sample.
+		if strings.Count(out, "\n") != 3 {
+			t.Errorf("value %q broke line framing:\n%q", val, out)
+		}
+	}
+}
+
+// TestInfFormatting pins the two infinity spellings: the histogram's
+// closing bucket renders le="+Inf" exactly once per child, and an
+// infinite sample value renders as +Inf, not Go's "%g" form.
+func TestInfFormatting(t *testing.T) {
+	r := New()
+	h := r.Histogram("inf_seconds", "inf", []float64{1}, "route", "x")
+	h.Observe(0.5)
+	h.Observe(math.Inf(1)) // lands in the +Inf bucket, poisons the sum
+	r.GaugeFunc("inf_gauge", "g", func() float64 { return math.Inf(1) })
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	if n := strings.Count(out, `le="+Inf"`); n != 1 {
+		t.Errorf("%d +Inf buckets, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`inf_seconds_bucket{route="x",le="+Inf"} 2`,
+		`inf_seconds_sum{route="x"} +Inf`,
+		"inf_gauge +Inf",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Errorf("formatting directive leaked:\n%s", out)
+	}
+}
+
+// TestConcurrentObserveVsScrape races Observe against WriteText (run
+// under -race in CI): scrapes mid-traffic must stay internally
+// consistent — each bucket line cumulative and <= the final count.
+func TestConcurrentObserveVsScrape(t *testing.T) {
+	r := New()
+	h := r.Histogram("busy_seconds", "busy", []float64{0.1, 1})
+	const workers, per = 4, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			r.WriteText(&b)
+			for _, line := range strings.Split(b.String(), "\n") {
+				if !strings.HasPrefix(line, "busy_seconds_bucket") {
+					continue
+				}
+				v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+				if err != nil || v < 0 || v > workers*per {
+					t.Errorf("inconsistent mid-scrape line %q: %v", line, err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.05)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-scraped
+	if h.Count() != workers*per {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}

@@ -109,15 +109,12 @@ func renderLabels(kv []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], escape(kv[i+1]))
+		// %q alone implements the exposition-format escaping rules exactly
+		// (backslash, quote, newline); pre-escaping on top of it would
+		// double the backslashes and corrupt round-trips.
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
 	}
 	return b.String()
-}
-
-// escape keeps label values single-line (quotes and backslashes are
-// handled by %q above; newlines would corrupt the exposition).
-func escape(v string) string {
-	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
 // Counter is a monotonically increasing integer metric.

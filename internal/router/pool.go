@@ -3,6 +3,7 @@ package router
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -43,8 +44,8 @@ type PoolConfig struct {
 	// OnEject and OnReadmit observe health transitions (metrics, logs).
 	OnEject   func(addr string, reason error)
 	OnReadmit func(addr string)
-	// Logf, when set, receives health-transition log lines.
-	Logf func(format string, args ...any)
+	// Log receives health-transition log records. nil discards.
+	Log *slog.Logger
 }
 
 func (c *PoolConfig) withDefaults() PoolConfig {
@@ -64,8 +65,8 @@ func (c *PoolConfig) withDefaults() PoolConfig {
 	if out.ReadmitAfter <= 0 {
 		out.ReadmitAfter = 2
 	}
-	if out.Logf == nil {
-		out.Logf = func(string, ...any) {}
+	if out.Log == nil {
+		out.Log = slog.New(slog.DiscardHandler)
 	}
 	return out
 }
@@ -208,13 +209,13 @@ func (p *Pool) recordProbe(b *backend, err error) {
 	}
 	b.mu.Unlock()
 	if ejected {
-		p.cfg.Logf("router: backend %s ejected (probe: %v)", b.addr, err)
+		p.cfg.Log.Warn("backend ejected", "backend", b.addr, "cause", "probe", "err", err)
 		if p.cfg.OnEject != nil {
 			p.cfg.OnEject(b.addr, err)
 		}
 	}
 	if readmitted {
-		p.cfg.Logf("router: backend %s readmitted", b.addr)
+		p.cfg.Log.Info("backend readmitted", "backend", b.addr)
 		if p.cfg.OnReadmit != nil {
 			p.cfg.OnReadmit(b.addr)
 		}
@@ -264,7 +265,7 @@ func (p *Pool) release(b *backend, transportErr error) {
 	}
 	b.mu.Unlock()
 	if ejected {
-		p.cfg.Logf("router: backend %s ejected (proxy: %v)", b.addr, transportErr)
+		p.cfg.Log.Warn("backend ejected", "backend", b.addr, "cause", "proxy", "err", transportErr)
 		if p.cfg.OnEject != nil {
 			p.cfg.OnEject(b.addr, transportErr)
 		}
@@ -290,7 +291,7 @@ func (p *Pool) ReportFailure(addr string, err error) {
 	}
 	b.mu.Unlock()
 	if ejected {
-		p.cfg.Logf("router: backend %s ejected (proxy: %v)", addr, err)
+		p.cfg.Log.Warn("backend ejected", "backend", addr, "cause", "proxy", "err", err)
 		if p.cfg.OnEject != nil {
 			p.cfg.OnEject(addr, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/metrics"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // BackendHeader names the response header carrying the backend that
@@ -38,8 +40,16 @@ type Config struct {
 	// Entries beyond the bound evict FIFO; lookups for evicted jobs fall
 	// back to fanning out across the pool.
 	JobMapSize int
-	// Logf, when set, receives health-transition log lines.
-	Logf func(format string, args ...any)
+	// Log receives the router's structured log stream (health transitions,
+	// proxied submissions). nil discards.
+	Log *slog.Logger
+	// Tracer records the router's half of every request's span tree: a
+	// root span per proxied request plus one child per failover attempt.
+	// The trace ID travels to the backend on X-Wlopt-Trace, and
+	// GET /v1/jobs/{id}/trace stitches both halves back together. nil
+	// creates a private recorder (tracing is always on at the router; its
+	// cost without a reader is a bounded ring of small structs).
+	Tracer *trace.Recorder
 }
 
 // Router is the sharded serving tier's HTTP front end. It speaks the same
@@ -72,8 +82,11 @@ func New(cfg Config) *Router {
 	if cfg.JobMapSize <= 0 {
 		cfg.JobMapSize = 65536
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.NewRecorder(trace.RecorderConfig{})
 	}
 	rt := &Router{
 		cfg:   cfg,
@@ -81,8 +94,9 @@ func New(cfg Config) *Router {
 		jobs:  newJobMap(cfg.JobMapSize),
 		start: time.Now(),
 	}
+	api.RegisterBuildInfo(rt.reg, cfg.Version)
 	pc := cfg.Pool
-	pc.Logf = cfg.Logf
+	pc.Log = cfg.Log
 	userEject, userReadmit := pc.OnEject, pc.OnReadmit
 	pc.OnEject = func(addr string, reason error) {
 		rt.reg.Counter("wloptr_ejections_total", "Backends ejected from the pool.", "backend", addr).Inc()
@@ -128,8 +142,11 @@ func (rt *Router) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/jobs", rt.instrument("submit", rt.submit))
 	mux.HandleFunc("GET /v1/jobs", rt.instrument("list", rt.list))
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.instrument("get", rt.get))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.instrument("trace", rt.jobTrace))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.instrument("cancel", rt.cancel))
 	mux.Handle("GET /metrics", rt.reg.Handler())
+	mux.HandleFunc("GET /debug/traces", rt.cfg.Tracer.ServeList)
+	mux.HandleFunc("GET /debug/traces/{id}", rt.cfg.Tracer.ServeDetail)
 }
 
 // Handler returns a fresh mux with the router mounted.
@@ -176,15 +193,24 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 
 	var sawBusy bool
 	for attempt, addr := range rt.pool.Ring().Seq(key) {
+		// One proxy span per ring attempt: the stitched trace shows the
+		// failover walk (busy / ejected / transport) backend by backend.
+		psp, pctx := trace.Start(r.Context(), "proxy")
+		psp.SetAttr("backend", addr)
+		psp.SetAttr("attempt", strconv.Itoa(attempt))
 		cl, release, err := rt.pool.Acquire(addr)
 		if errors.Is(err, ErrBackendBusy) {
 			// The digest's owner is healthy but saturated. Don't spill to
 			// the next backend — that would rebuild its plans elsewhere and
 			// split the cache — push back on the client instead.
+			psp.SetAttr("outcome", "busy")
+			psp.End()
 			sawBusy = true
 			break
 		}
 		if err != nil {
+			psp.SetAttr("outcome", "ejected")
+			psp.End()
 			continue // ejected: fail over along the ring
 		}
 		rt.reg.Counter("wloptr_proxy_requests_total", "Requests proxied per backend.", "backend", addr).Inc()
@@ -192,12 +218,15 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 			// Proxying past the shard owner: the ring walk failed over.
 			rt.reg.Counter("wloptr_proxy_retries_total", "Submissions proxied past the first ring position.", "backend", addr).Inc()
 		}
-		info, status, err := cl.SubmitBody(r.Context(), body)
+		info, status, err := cl.SubmitBody(pctx, body)
 		if err != nil {
 			var apiErr *api.Error
 			if errors.As(err, &apiErr) {
 				// The backend answered: its verdict is authoritative
 				// (queue_full, bad options, ...) — propagate, don't spill.
+				psp.SetAttr("outcome", "backend_error")
+				psp.SetAttr("code", apiErr.Code)
+				psp.End()
 				release(nil)
 				if apiErr.Code == api.CodeQueueFull {
 					rt.rejected("backend_queue_full")
@@ -211,17 +240,27 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 			// skip the ring walk; retrying for a vanished client would only
 			// duplicate work.
 			if clientCaused(r, err) {
+				psp.SetAttr("outcome", "client_gone")
+				psp.End()
 				release(nil)
 				writeErr(w, err)
 				return
 			}
 			// Transport failure: eject and try the next ring position.
+			psp.SetAttr("outcome", "transport")
+			psp.End()
 			rt.reg.Counter("wloptr_proxy_failures_total", "Transport-level proxy failures per backend.", "backend", addr).Inc()
 			release(err)
 			continue
 		}
+		psp.SetAttr("outcome", "ok")
+		psp.SetAttr("job_id", info.ID)
+		psp.End()
 		release(nil)
 		rt.jobs.put(info.ID, addr)
+		rt.cfg.Log.Info("submit proxied",
+			"job_id", info.ID, "backend", addr, "trace_id", info.TraceID,
+			"attempt", attempt, "cache_hit", info.CacheHit)
 		w.Header().Set(BackendHeader, addr)
 		writeJSON(w, status, info)
 		return
@@ -315,6 +354,31 @@ func (rt *Router) get(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(BackendHeader, addr)
 	writeJSON(w, http.StatusOK, info)
+}
+
+// jobTrace proxies GET /v1/jobs/{id}/trace and stitches the two halves
+// of the tree together: the backend returns its spans (HTTP handling,
+// queue wait, plan, search, persist), and the router's recorder holds
+// the proxy-side spans recorded under the same trace ID when the submit
+// passed through — Merge interleaves them by start time so the caller
+// sees one tree spanning both processes.
+func (rt *Router) jobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	addr, cl, _, err := rt.locate(r, id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	in, err := cl.JobTrace(r.Context(), id)
+	if err != nil {
+		rt.proxyError(w, addr, err)
+		return
+	}
+	if own, ok := rt.cfg.Tracer.Snapshot(in.TraceID); ok {
+		in = trace.Merge(own, in)
+	}
+	w.Header().Set(BackendHeader, addr)
+	writeJSON(w, http.StatusOK, in)
 }
 
 // watch proxies the backend's SSE stream hop by hop: each event the
@@ -570,19 +634,33 @@ func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, er
 	return io.ReadAll(r.Body)
 }
 
-// instrument wraps a handler with the wloptr_ request counter and latency
-// histogram under the given route label.
+// instrument wraps a handler with the wloptr_ request counter, latency
+// histogram, and a root trace span under the given route label. The span
+// joins any inbound X-Wlopt-Trace and flows out on proxied calls via the
+// request context, so the backend's spans land in the same tree. healthz
+// stays untraced — probe noise would churn the recorder's ring.
 func (rt *Router) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := rt.reg.Histogram("wloptr_http_request_duration_seconds",
 		"Router HTTP request latency by route.", nil, "route", route)
+	traced := route != "healthz"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		var sp *trace.Span
+		if traced {
+			id, parent, _ := trace.Extract(r.Header)
+			tr := rt.cfg.Tracer.StartTrace(id)
+			sp = tr.StartSpanRemote("router."+route, parent)
+			w.Header().Set(trace.Header, tr.ID())
+			r = r.WithContext(trace.With(r.Context(), sp))
+		}
 		h(sw, r)
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK
 		}
+		sp.SetAttr("code", strconv.Itoa(code))
+		sp.End()
 		rt.reg.Counter("wloptr_http_requests_total",
 			"Router HTTP requests by route and status.",
 			"route", route, "code", strconv.Itoa(code)).Inc()

@@ -1,0 +1,94 @@
+package router
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"repro/internal/api"
+	"repro/internal/service"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// newWloptdBackend boots a real backend (manager + API server) with its
+// own trace recorder — two processes' worth of spans in one test binary.
+func newWloptdBackend(t *testing.T) string {
+	t.Helper()
+	rec := trace.NewRecorder(trace.RecorderConfig{})
+	mgr := service.New(service.Config{NPSD: 64, Workers: 1, Tracer: rec})
+	srv := api.NewServer(mgr, api.ServerConfig{Addr: "test:0", Tracer: rec})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return ts.URL
+}
+
+// TestStitchedTraceAcrossProxy pins the tentpole end to end: a job
+// submitted through the router yields, on GET /v1/jobs/{id}/trace, one
+// tree holding the router's proxy spans and the backend's job spans, with
+// the backend's HTTP root parented under a router span — the cross-
+// process edge the stitching exists for.
+func TestStitchedTraceAcrossProxy(t *testing.T) {
+	b1, b2 := newWloptdBackend(t), newWloptdBackend(t)
+	rt := New(Config{Pool: PoolConfig{Backends: []string{b1, b2}}})
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	cl := api.NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	info, err := cl.Submit(ctx, service.Request{
+		System:  "dwt97(fig3)",
+		Options: spec.Options{Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 10, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("submit through router: %v", err)
+	}
+	if info.TraceID == "" {
+		t.Fatal("proxied job has no trace ID")
+	}
+	if _, err := cl.Wait(ctx, info.ID); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	in, err := cl.JobTrace(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("stitched trace fetch: %v", err)
+	}
+	if in.TraceID != info.TraceID {
+		t.Errorf("stitched trace ID %q, job carries %q", in.TraceID, info.TraceID)
+	}
+
+	routerIDs := map[string]bool{} // span IDs recorded on the router side
+	byName := map[string]trace.SpanInfo{}
+	for _, sp := range in.Spans {
+		byName[sp.Name] = sp
+		if sp.Name == "router.submit" || sp.Name == "proxy" {
+			routerIDs[sp.ID] = true
+		}
+	}
+	for _, want := range []string{"router.submit", "proxy", "http.submit", "job", "queue.wait", "plan.build", "search", "persist"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("stitched tree missing %s span:\n%s", want, in.Tree())
+		}
+	}
+	if sp, ok := byName["proxy"]; ok {
+		if sp.Attrs["outcome"] != "ok" {
+			t.Errorf("proxy span attrs = %v", sp.Attrs)
+		}
+		if root := byName["router.submit"]; sp.Parent != root.ID {
+			t.Errorf("proxy span parent %q, want router.submit %q", sp.Parent, root.ID)
+		}
+	}
+	// The cross-process edge: the backend's HTTP root must hang under a
+	// router-side span, or the two halves didn't actually stitch.
+	if sp, ok := byName["http.submit"]; ok && !routerIDs[sp.Parent] {
+		t.Errorf("backend http.submit parent %q is not a router span:\n%s", sp.Parent, in.Tree())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/spec"
+	"repro/internal/trace"
 	"repro/internal/wlopt"
 )
 
@@ -81,6 +82,9 @@ type JobInfo struct {
 	Finished    *time.Time `json:"finished,omitempty"`
 	Result      *JobResult `json:"result,omitempty"`
 	Error       string     `json:"error,omitempty"`
+	// TraceID keys the job's span tree (GET /v1/jobs/{id}/trace); empty
+	// when the manager runs without a trace recorder.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Event is one element of a job's progress stream.
@@ -110,6 +114,13 @@ type job struct {
 	// onDone, when set, observes the terminal snapshot exactly once
 	// (Config.OnJobDone); invoked with no locks held.
 	onDone func(*JobInfo)
+
+	// Tracing state, immutable after construction. span covers the job's
+	// whole life, qspan the submitted→started wait; both are nil (and
+	// every operation on them a no-op) when the manager has no Tracer.
+	traceID string
+	span    *trace.Span
+	qspan   *trace.Span
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -161,6 +172,7 @@ func (j *job) snapshot() *JobInfo {
 		Evaluations: j.evals,
 		Submitted:   j.submitted,
 		Result:      toJobResult(j.res),
+		TraceID:     j.traceID,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -227,13 +239,28 @@ func (j *job) setStateLocked(s JobState) bool {
 	return s.Terminal()
 }
 
-// notifyDone delivers the terminal snapshot to the onDone hook. Callers
-// guarantee exactly one invocation (the single setStateLocked call that
-// returned true) and that no locks are held.
+// notifyDone closes the job's spans and delivers the terminal snapshot
+// to the onDone hook. Callers guarantee exactly one invocation (the
+// single setStateLocked call that returned true) and that no locks are
+// held.
 func (j *job) notifyDone() {
+	info := j.snapshot()
+	j.endTrace(info)
 	if j.onDone != nil {
-		j.onDone(j.snapshot())
+		j.onDone(info)
 	}
+}
+
+// endTrace stamps the terminal outcome on the job's spans and ends them.
+// Every terminal path funnels through here (via notifyDone); with
+// tracing off the spans are nil and each call is a no-op.
+func (j *job) endTrace(info *JobInfo) {
+	j.qspan.End()
+	j.span.SetAttr("state", string(info.State))
+	if info.CacheHit {
+		j.span.SetAttr("cache_hit", "true")
+	}
+	j.span.End()
 }
 
 // begin atomically moves a queued job to running; it reports false when
@@ -256,6 +283,8 @@ func (j *job) begin() bool {
 	}
 	j.setStateLocked(JobRunning)
 	j.mu.Unlock()
+	// The queue wait is over the moment a worker picks the job up.
+	j.qspan.End()
 	return true
 }
 

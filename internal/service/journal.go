@@ -163,6 +163,19 @@ func (m *Manager) recoverOne(je *journalEntry) {
 		subs:      make(map[int]chan Event),
 		journaled: true, // the entry is on disk; the terminal hook retires it
 	}
+	if m.cfg.Tracer != nil {
+		// A recovered job gets a fresh trace — the original caller's trace
+		// died with the old process, but its replayed run should still be
+		// explainable.
+		tr := m.cfg.Tracer.StartTrace("")
+		j.traceID = tr.ID()
+		j.span = tr.StartSpan("job", nil)
+		j.span.SetAttr("job_id", je.ID)
+		j.span.SetAttr("digest", shortDigest(je.Digest))
+		j.span.SetAttr("strategy", opts.Strategy)
+		j.span.SetAttr("recovered", "true")
+		j.qspan = tr.StartSpan("queue.wait", j.span)
+	}
 	j.onDone = func(info *JobInfo) { m.jobDone(j, info) }
 	j.ctx, j.cancel = context.WithCancel(m.baseCtx)
 	j.mu.Lock()

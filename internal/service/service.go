@@ -28,6 +28,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/systems"
+	"repro/internal/trace"
 	"repro/internal/wlopt"
 )
 
@@ -75,6 +76,18 @@ type Config struct {
 	// manager and job locks on whichever goroutine drove the transition —
 	// the API layer uses it to feed latency histograms; keep it fast.
 	OnJobDone func(*JobInfo)
+	// Tracer, when non-nil, records a span tree per job: queue wait,
+	// coalesce, store probe, plan build/restore, search and persist
+	// phases, joined to the caller's HTTP span when SubmitCtx receives a
+	// context carrying one. nil disables tracing entirely — the untraced
+	// path performs no allocation and no extra locking.
+	Tracer *trace.Recorder
+	// PlanObserver, when non-nil, is installed as the engine's plan
+	// observer (core.Engine.SetPlanObserver): one callback per plan
+	// build/restore with its duration, next to the PlanBuilds /
+	// PlanRestores counters. The daemon feeds a latency histogram and a
+	// structured log line from it.
+	PlanObserver func(core.PlanEvent)
 }
 
 func (c Config) withDefaults() Config {
@@ -259,6 +272,9 @@ func New(cfg Config) *Manager {
 	// Keep one engine plan per cached graph: the plan cache is the point
 	// of sharing the engine across requests.
 	m.eng.SetPlanCacheCap(cfg.GraphCacheSize)
+	if cfg.PlanObserver != nil {
+		m.eng.SetPlanObserver(cfg.PlanObserver)
+	}
 	m.graphs.onEvict = func(_ string, val any) {
 		m.eng.Invalidate(val.(*graphEntry).g)
 	}
@@ -294,15 +310,43 @@ func (m *Manager) Close() {
 // touching the queue; one whose key is already in flight coalesces onto
 // the running job (single-flight) instead of duplicating the search.
 func (m *Manager) Submit(req Request) (*JobInfo, error) {
+	return m.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with a caller context, used only for tracing: when
+// ctx carries an active trace span (the API layer's per-request root),
+// the job's spans join that trace instead of starting a fresh one. The
+// context does not govern the job's lifetime — cancellation still goes
+// through Cancel.
+func (m *Manager) SubmitCtx(ctx context.Context, req Request) (*JobInfo, error) {
 	sysName, sp, opts, digest, err := m.resolve(req)
 	if err != nil {
 		return nil, err
 	}
 	key := digest + "|" + opts.Fingerprint()
 
+	// Mint the job's spans before taking the manager lock: trace
+	// bookkeeping is never under m.mu. With no Tracer all three stay
+	// nil and every span operation below is a free no-op.
+	var tr *trace.Trace
+	var jobSpan, qSpan *trace.Span
+	if m.cfg.Tracer != nil {
+		parent := trace.SpanFrom(ctx)
+		if parent != nil {
+			tr = parent.Trace()
+		} else {
+			tr = m.cfg.Tracer.StartTrace("")
+		}
+		jobSpan = tr.StartSpan("job", parent)
+		jobSpan.SetAttr("digest", shortDigest(digest))
+		jobSpan.SetAttr("strategy", opts.Strategy)
+		qSpan = tr.StartSpan("queue.wait", jobSpan)
+	}
+
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		abortSpans(jobSpan, qSpan, "closed")
 		return nil, ErrClosed
 	}
 	m.seq++
@@ -311,6 +355,7 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 	if m.cfg.NodeID != "" {
 		id = m.cfg.NodeID + "-" + id
 	}
+	jobSpan.SetAttr("job_id", id)
 	j := &job{
 		id:        id,
 		seq:       m.seq,
@@ -322,6 +367,9 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 		state:     JobQueued,
 		submitted: time.Now(),
 		subs:      make(map[int]chan Event),
+		traceID:   tr.ID(),
+		span:      jobSpan,
+		qspan:     qSpan,
 	}
 	// Every terminal transition routes through jobDone: it retires the
 	// job's journal entry, then forwards to Config.OnJobDone.
@@ -348,12 +396,16 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 		// then re-check the in-memory tiers, which may have been filled (or
 		// claimed by a new leader) while we were on disk.
 		m.mu.Unlock()
+		psp := tr.StartSpan("store.probe", jobSpan)
 		cr := m.storeGetResult(key)
+		psp.SetAttr("hit", strconv.FormatBool(cr != nil))
+		psp.End()
 		m.mu.Lock()
 		if m.closed {
 			m.submitted--
 			m.mu.Unlock()
 			j.cancel()
+			abortSpans(jobSpan, qSpan, "closed")
 			return nil, ErrClosed
 		}
 		if hit, ok := m.results.get(key); ok {
@@ -377,6 +429,7 @@ func (m *Manager) Submit(req Request) (*JobInfo, error) {
 		m.submitted--
 		m.mu.Unlock()
 		j.cancel() // release the context registration
+		abortSpans(jobSpan, qSpan, "queue_full")
 		return nil, ErrQueueFull
 	}
 	m.inflight[key] = j
@@ -409,7 +462,28 @@ func (m *Manager) joinLocked(j, leader *job) *JobInfo {
 	leader.followers = append(leader.followers, j)
 	m.registerLocked(j)
 	m.mu.Unlock()
+	// Mark the single-flight join in the follower's trace: its queue.wait
+	// span now measures time spent riding the leader.
+	csp := j.span.Trace().StartSpan("coalesce", j.span)
+	csp.SetAttr("leader", leader.id)
+	csp.End()
 	return j.snapshot()
+}
+
+// abortSpans closes a rejected submission's spans before the job ever
+// becomes visible (queue full, manager closing). No-op when nil.
+func abortSpans(jobSpan, qSpan *trace.Span, reason string) {
+	qSpan.End()
+	jobSpan.SetAttr("state", reason)
+	jobSpan.End()
+}
+
+// shortDigest trims a content digest to a log/trace-friendly prefix.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }
 
 // registerLocked adds the job to the index and evicts old terminal jobs
@@ -526,6 +600,8 @@ func (m *Manager) run(j *job) {
 	if !j.begin() {
 		return
 	}
+	// tr is nil with tracing off; every span below is then a no-op.
+	tr := j.span.Trace()
 	entry, err := m.graphFor(j)
 	if err != nil {
 		j.finish(nil, err)
@@ -537,9 +613,24 @@ func (m *Manager) run(j *job) {
 	defer entry.mu.Unlock()
 	g := entry.g
 
+	// Force the plan build here (instead of lazily inside the first
+	// evaluation) so a cold build is timed and attributed to this job;
+	// warm and restored plans report built=false and record nothing.
+	planStart := time.Now()
+	built, err := m.eng.EnsurePlan(g)
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	if built {
+		tr.StartSpanAt("plan.build", j.span, planStart).End()
+	}
+
 	budget := j.opts.Budget
 	if j.opts.BudgetWidth > 0 {
+		bsp := tr.StartSpan("budget.probe", j.span)
 		probe, err := m.eng.EvaluateAssignment(g, core.UniformAssignment(g.NoiseSources(), j.opts.BudgetWidth))
+		bsp.End()
 		if err != nil {
 			j.finish(nil, fmt.Errorf("budget probe at %d bits: %w", j.opts.BudgetWidth, err))
 			return
@@ -558,7 +649,9 @@ func (m *Manager) run(j *job) {
 		Evaluator:    m.eng,
 		Seed:         j.opts.Seed,
 		AnnealRounds: j.opts.AnnealRounds,
-		Context:      j.ctx,
+		// With tracing on, carry the job span so RunStrategy opens its
+		// "search" span under it; With returns j.ctx unchanged otherwise.
+		Context: trace.With(j.ctx, j.span),
 		Progress: func(ev wlopt.ProgressEvent) {
 			j.progress(ev)
 			m.throttle(j.ctx)
@@ -571,8 +664,10 @@ func (m *Manager) run(j *job) {
 		// Write-through: the persistent tiers are repaired/filled on every
 		// completed job. entry.mu is still held, so the persisted flag and
 		// the engine plan for g are stable.
+		psp := tr.StartSpan("persist", j.span)
 		m.storePutResult(j.key, res, budget)
 		m.persistPlan(j.digest, entry)
+		psp.End()
 	}
 	j.finish(res, err)
 }
@@ -731,7 +826,10 @@ func (m *Manager) graphFor(j *job) (*graphEntry, error) {
 	m.mu.Unlock()
 	// Build outside the manager lock: construction designs filters and
 	// can take a while.
+	tr := j.span.Trace()
+	gsp := tr.StartSpan("graph.build", j.span)
 	g, err := j.sp.Build()
+	gsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -741,6 +839,8 @@ func (m *Manager) graphFor(j *job) (*graphEntry, error) {
 		// whole plan build (propagation + FFT response sampling). A
 		// snapshot that fails shape validation is as good as corrupt —
 		// drop it; the write-through after the first job rebuilds it.
+		rsp := tr.StartSpan("plan.restore", j.span)
+		restored := false
 		key := store.PlanKey(j.digest, m.cfg.NPSD)
 		var snap core.PlanSnapshot
 		if m.cfg.Store.Get(store.KindPlan, key, &snap) {
@@ -748,8 +848,11 @@ func (m *Manager) graphFor(j *job) (*graphEntry, error) {
 				m.cfg.Store.Delete(store.KindPlan, key)
 			} else {
 				e.persisted = true
+				restored = true
 			}
 		}
+		rsp.SetAttr("restored", strconv.FormatBool(restored))
+		rsp.End()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

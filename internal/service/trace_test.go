@@ -1,0 +1,146 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func spanNames(in *trace.Info) map[string]trace.SpanInfo {
+	m := make(map[string]trace.SpanInfo, len(in.Spans))
+	for _, s := range in.Spans {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// TestSubmitRecordsSpanTree pins the per-job span tree: a cold submit
+// records queue-wait, graph/plan build, search and persist phases under
+// one job span, and the job's snapshot carries the trace ID.
+func TestSubmitRecordsSpanTree(t *testing.T) {
+	rec := trace.NewRecorder(trace.RecorderConfig{})
+	m := testManager(t, Config{Workers: 1, Tracer: rec})
+
+	info, err := m.Submit(Request{System: "dwt97(fig3)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if info.TraceID == "" {
+		t.Fatal("accepted job has no trace ID")
+	}
+	final := waitDone(t, m, info.ID)
+	if final.TraceID != info.TraceID {
+		t.Errorf("trace ID changed: %q -> %q", info.TraceID, final.TraceID)
+	}
+
+	in, ok := rec.Snapshot(info.TraceID)
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	names := spanNames(in)
+	job, ok := names["job"]
+	if !ok {
+		t.Fatalf("no job span; spans: %v", in.Tree())
+	}
+	if job.InProgress {
+		t.Error("job span still in progress after terminal state")
+	}
+	if job.Attrs["job_id"] != info.ID || job.Attrs["state"] != string(JobDone) {
+		t.Errorf("job span attrs = %v", job.Attrs)
+	}
+	for _, want := range []string{"queue.wait", "graph.build", "plan.build", "budget.probe", "search", "persist"} {
+		sp, ok := names[want]
+		if !ok {
+			t.Errorf("missing %s span; tree:\n%s", want, in.Tree())
+			continue
+		}
+		if sp.Parent != job.ID {
+			t.Errorf("%s span parent = %q, want job %q", want, sp.Parent, job.ID)
+		}
+		if sp.InProgress {
+			t.Errorf("%s span never ended", want)
+		}
+	}
+	if names["search"].Attrs["strategy"] != "descent" {
+		t.Errorf("search attrs = %v", names["search"].Attrs)
+	}
+	// Phases nest inside the job span: their summed duration cannot
+	// exceed it (they are sequential on one worker).
+	var phases float64
+	for _, n := range []string{"queue.wait", "graph.build", "plan.build", "budget.probe", "search", "persist"} {
+		phases += names[n].DurationS
+	}
+	if phases > job.DurationS*1.05+0.001 {
+		t.Errorf("phase durations %.6fs exceed job span %.6fs", phases, job.DurationS)
+	}
+}
+
+// TestCacheHitAndCoalesceTraces pins the short-circuit paths: a cache
+// hit ends its (tiny) trace with the cache_hit attr and no search span;
+// a coalesced follower records a coalesce span naming its leader.
+func TestCacheHitAndCoalesceTraces(t *testing.T) {
+	rec := trace.NewRecorder(trace.RecorderConfig{})
+	m := testManager(t, Config{Workers: 1, Tracer: rec})
+
+	first, err := m.Submit(Request{System: "decimator(M=4)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitDone(t, m, first.ID)
+
+	hit, err := m.Submit(Request{System: "decimator(M=4)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatalf("hit submit: %v", err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("second submit not a cache hit")
+	}
+	if hit.TraceID == "" || hit.TraceID == first.TraceID {
+		t.Fatalf("hit trace ID %q (first %q)", hit.TraceID, first.TraceID)
+	}
+	in, ok := rec.Snapshot(hit.TraceID)
+	if !ok {
+		t.Fatal("hit trace missing")
+	}
+	names := spanNames(in)
+	if _, ok := names["search"]; ok {
+		t.Error("cache hit recorded a search span")
+	}
+	if names["job"].Attrs["cache_hit"] != "true" {
+		t.Errorf("job attrs = %v", names["job"].Attrs)
+	}
+}
+
+// TestRecoveredJobGetsFreshTrace pins recovery tracing: a job re-admitted
+// from the journal is marked recovered and traced end to end.
+func TestRecoveredJobGetsFreshTrace(t *testing.T) {
+	dir := t.TempDir()
+	st := testStore(t, dir)
+	m := New(Config{NPSD: 64, Workers: 1, Store: st, StepThrottle: 50 * time.Millisecond})
+	info, err := m.Submit(Request{System: "dwt97(fig3)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	m.Halt() // crash-stop with the job journaled
+
+	rec := trace.NewRecorder(trace.RecorderConfig{})
+	m2 := New(Config{NPSD: 64, Workers: 1, Store: testStore(t, dir), Tracer: rec})
+	defer m2.Close()
+
+	final := waitDone(t, m2, info.ID)
+	if final.TraceID == "" {
+		t.Fatal("recovered job has no trace ID")
+	}
+	in, ok := rec.Snapshot(final.TraceID)
+	if !ok {
+		t.Fatal("recovered trace missing")
+	}
+	names := spanNames(in)
+	if names["job"].Attrs["recovered"] != "true" {
+		t.Errorf("job attrs = %v", names["job"].Attrs)
+	}
+	if _, ok := names["queue.wait"]; !ok {
+		t.Error("recovered job has no queue.wait span")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -79,6 +80,7 @@ type Store struct {
 	dir  string
 	fs   FileSystem
 	logf func(format string, args ...any)
+	slog *slog.Logger
 
 	hits    atomic.Int64
 	misses  atomic.Int64
@@ -119,12 +121,26 @@ func OpenFS(dir string, fsys FileSystem) (*Store, error) {
 	return s, nil
 }
 
-// SetLogf installs a logger for corruption reports. nil silences them.
+// SetLogf installs a printf-style logger for corruption reports. nil
+// silences them. SetSlog supersedes it when both are set.
 func (s *Store) SetLogf(logf func(format string, args ...any)) { s.logf = logf }
 
-func (s *Store) logfOrNop(format string, args ...any) {
+// SetSlog installs a structured logger for corruption reports; records
+// carry kind/key/err/action attrs instead of a formatted line. nil
+// reverts to the SetLogf sink (or silence).
+func (s *Store) SetSlog(l *slog.Logger) { s.slog = l }
+
+// reportCorrupt emits one corruption report: an unreadable entry was
+// removed so a later fetch rebuilds it. Structured when a slog sink is
+// installed, printf otherwise.
+func (s *Store) reportCorrupt(kind, key string, err error, action string) {
+	if s.slog != nil {
+		s.slog.Warn("corrupt store entry removed",
+			"kind", kind, "key", key, "err", err, "action", action)
+		return
+	}
 	if s.logf != nil {
-		s.logf(format, args...)
+		s.logf("store: corrupt %s entry for %s (%v); removed, will %s", kind, key, err, action)
 	}
 }
 
@@ -232,7 +248,7 @@ func (s *Store) Get(kind, key string, v any) bool {
 	if err := s.decode(f, kind, key, v); err != nil {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
-		s.logfOrNop("store: corrupt %s entry for %s (%v); removed, will rebuild", kind, key, err)
+		s.reportCorrupt(kind, key, err, "rebuild")
 		s.fs.Remove(path)
 		return false
 	}
@@ -325,7 +341,7 @@ func (s *Store) ForEach(kind string, newV func() any, fn func(key string, v any)
 		}(); err != nil {
 			s.corrupt.Add(1)
 			s.misses.Add(1)
-			s.logfOrNop("store: corrupt %s entry at %s (%v); removed", kind, e.Name(), err)
+			s.reportCorrupt(kind, e.Name(), err, "skip")
 			s.fs.Remove(path)
 		}
 	}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ctxKey carries the active span through a context.
+type ctxKey struct{}
+
+// With returns ctx carrying s as the active span. A nil span returns
+// ctx unchanged, so untraced paths never allocate.
+func With(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the active span in ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of ctx's active span and returns it plus a
+// context carrying it. With no active span it returns (nil, ctx): the
+// nil span's methods no-op, so callers need no branches.
+func Start(ctx context.Context, name string) (*Span, context.Context) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	sp := parent.tr.StartSpan(name, parent)
+	return sp, With(ctx, sp)
+}
+
+// Inject stamps the propagation header from ctx's active span onto an
+// outbound request. No-op without an active span.
+func Inject(ctx context.Context, h http.Header) {
+	s := SpanFrom(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(Header, fmt.Sprintf("%s:%016x", s.tr.id, s.id))
+}
+
+// Extract parses the propagation header from an inbound request:
+// trace ID plus the sender's span ID (0 when absent). ok is false when
+// no usable header is present.
+func Extract(h http.Header) (id string, parent uint64, ok bool) {
+	v := h.Get(Header)
+	if v == "" {
+		return "", 0, false
+	}
+	if i := strings.IndexByte(v, ':'); i >= 0 {
+		if p, err := strconv.ParseUint(v[i+1:], 16, 64); err == nil {
+			parent = p
+		}
+		v = v[:i]
+	}
+	if !validID(v) {
+		return "", 0, false
+	}
+	return v, parent, true
+}
+
+// ServeList handles GET /debug/traces: the slowest traces plus the most
+// recent ones, as JSON. ?n= bounds both lists.
+func (r *Recorder) ServeList(w http.ResponseWriter, req *http.Request) {
+	n := 0
+	if s := req.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			n = v
+		}
+	}
+	writeDebugJSON(w, http.StatusOK, map[string]any{
+		"slowest": r.Slowest(n),
+		"recent":  r.Recent(n),
+	})
+}
+
+// ServeDetail handles GET /debug/traces/{id}: one trace's span tree.
+func (r *Recorder) ServeDetail(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	in, ok := r.Snapshot(id)
+	if !ok {
+		writeDebugJSON(w, http.StatusNotFound, map[string]any{"error": "unknown or evicted trace " + strconv.Quote(id)})
+		return
+	}
+	writeDebugJSON(w, http.StatusOK, in)
+}
+
+func writeDebugJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

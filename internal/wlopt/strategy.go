@@ -3,9 +3,11 @@ package wlopt
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/sfg"
+	"repro/internal/trace"
 )
 
 // Strategy is a pluggable word-length search procedure. A strategy receives
@@ -83,8 +85,15 @@ func RunStrategy(g *sfg.Graph, name string, opt Options) (*Result, error) {
 	}
 	o := newOracle(g, opt)
 	o.strategy = s.Name()
+	// The search span covers the whole strategy run; it is a no-op unless
+	// Options.Context carries an active trace span (the serving tier's
+	// traced submit path), so library and benchmark callers pay nothing.
+	sp, _ := trace.Start(opt.Context, "search")
+	sp.SetAttr("strategy", s.Name())
 	res, err := s.Run(o, opt)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return nil, err
 	}
 	res.Strategy = s.Name()
@@ -92,6 +101,11 @@ func RunStrategy(g *sfg.Graph, name string, opt Options) (*Result, error) {
 	// same way: strategies react to a cancelled context by breaking out of
 	// their search loops with the best-so-far assignment.
 	res.Cancelled = o.Cancelled()
+	sp.SetAttr("evaluations", strconv.Itoa(res.Evaluations))
+	if res.Cancelled {
+		sp.SetAttr("cancelled", "true")
+	}
+	sp.End()
 	return res, nil
 }
 
