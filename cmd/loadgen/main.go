@@ -35,9 +35,17 @@
 // seeded transport faults (internal/fault) between the generator and the
 // tier, which is how the chaos smoke test drives a cluster through a
 // flaky network and still demands zero lost jobs.
+//
+// With -deadline each job carries a server-side deadline (propagated as
+// X-Wlopt-Deadline): the tier sheds jobs whose deadline expires while
+// queued (reported under deadline_exceeded in the error table) and
+// truncates running searches to a best-so-far answer (the degraded
+// count), so the report shows how the tier degrades under overload
+// instead of just how it fails.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -47,6 +55,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -65,6 +75,7 @@ func main() {
 		distinct = flag.Int("distinct", 0, "distinct spec digests to cycle through (0 = n, fully cold)")
 		salt     = flag.Float64("salt", 0, "gain offset making this run's digests unique")
 		width    = flag.Int("budget-width", 8, "budget_width optimizer option")
+		deadline = flag.Duration("deadline", 0, "per-job deadline propagated as X-Wlopt-Deadline (0 disables)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-job submit+wait timeout")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
 		showTr   = flag.Bool("trace", false, "after the run, fetch and print the slowest job's span tree")
@@ -81,7 +92,8 @@ func main() {
 
 	cfg := runConfig{
 		Mode: *mode, Jobs: *n, Concurrency: *c, RateHz: *rate,
-		Distinct: *distinct, Salt: *salt, BudgetWidth: *width, JobTimeout: *timeout,
+		Distinct: *distinct, Salt: *salt, BudgetWidth: *width,
+		Deadline: *deadline, JobTimeout: *timeout,
 	}
 	var hc *http.Client
 	if *faultErrRate > 0 || *faultLatRate > 0 {
@@ -100,6 +112,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
+	// Through a router, report how many submissions spilled past their
+	// saturated shard owner during the run (best effort: a bare backend
+	// has no wloptr metrics and contributes zero).
+	rep.Spills = scrapeSpills(*target)
 	if *showTr && rep.SlowestJobID != "" {
 		// The tree goes to stderr so -json keeps a clean machine-readable
 		// stdout; through a router the tree is stitched across processes.
@@ -130,7 +146,11 @@ type runConfig struct {
 	Distinct    int     // distinct digests; <=0 means Jobs (fully cold)
 	Salt        float64
 	BudgetWidth int
-	JobTimeout  time.Duration
+	// Deadline, when positive, bounds each job server-side: the submit
+	// context carries it, so the client stamps X-Wlopt-Deadline and the
+	// tier sheds or truncates work the generator would no longer use.
+	Deadline   time.Duration
+	JobTimeout time.Duration
 }
 
 // Report is the run summary.
@@ -143,7 +163,13 @@ type Report struct {
 	// Retries counts client-level retry attempts across the whole run
 	// (re-issued calls plus watch reconnects) — transient faults the
 	// retry policy absorbed instead of surfacing in Errors.
-	Retries    int64          `json:"retries"`
+	Retries int64 `json:"retries"`
+	// Degraded counts jobs that completed with a deadline-truncated
+	// best-so-far result; Spills is the router's wloptr_spills_total
+	// reading after the run (0 against a bare backend). Jobs the tier shed
+	// outright appear in Errors under "deadline_exceeded".
+	Degraded   int            `json:"degraded"`
+	Spills     int64          `json:"spills"`
 	Errors     map[string]int `json:"errors,omitempty"`
 	DurationS  float64        `json:"duration_s"`
 	Throughput float64        `json:"throughput_jobs_per_s"`
@@ -160,6 +186,12 @@ func (r *Report) String() string {
 	s := fmt.Sprintf("loadgen: %s loop against %s\n", r.Mode, r.Target)
 	s += fmt.Sprintf("  jobs        %d submitted, %d completed, %d cache hits\n", r.Jobs, r.Completed, r.CacheHits)
 	s += fmt.Sprintf("  retries     %d\n", r.Retries)
+	if r.Degraded > 0 {
+		s += fmt.Sprintf("  degraded    %d\n", r.Degraded)
+	}
+	if r.Spills > 0 {
+		s += fmt.Sprintf("  spills      %d\n", r.Spills)
+	}
 	s += fmt.Sprintf("  wall        %.2fs  (%.1f jobs/s)\n", r.DurationS, r.Throughput)
 	s += fmt.Sprintf("  latency     p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n", r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
 	if len(r.Errors) > 0 {
@@ -207,27 +239,83 @@ func specBody(cfg runConfig, i int) []byte {
 }
 
 // oneJob submits the i-th job and waits for its terminal state, returning
-// the job ID, the end-to-end latency, whether it was a cache hit, and an
-// error class ("" on success, an api code or "transport" otherwise).
-func oneJob(ctx context.Context, cl *api.Client, cfg runConfig, i int) (string, time.Duration, bool, string) {
+// the job ID, the end-to-end latency, whether it was a cache hit, whether
+// the result was deadline-degraded, and an error class ("" on success, an
+// api code, a job error_code, or "transport" otherwise).
+func oneJob(ctx context.Context, cl *api.Client, cfg runConfig, i int) (string, time.Duration, bool, bool, string) {
 	ctx, cancel := context.WithTimeout(ctx, cfg.JobTimeout)
 	defer cancel()
+	// The deadline bounds only the submit context — that is what the
+	// client folds into X-Wlopt-Deadline. The wait keeps the full job
+	// timeout: the tier itself answers at the deadline (shed or degraded),
+	// and giving up client-side would misreport that answer as an error.
+	sctx := ctx
+	if cfg.Deadline > 0 {
+		var scancel context.CancelFunc
+		sctx, scancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer scancel()
+	}
 	start := time.Now()
-	info, _, err := cl.SubmitBody(ctx, specBody(cfg, i))
+	info, _, err := cl.SubmitBody(sctx, specBody(cfg, i))
 	if err != nil {
-		return "", time.Since(start), false, errClass(err)
+		cls := errClass(err)
+		// A submit that ran out the per-job deadline while the tier was
+		// pushing back (retry backoff past the deadline fails fast with
+		// the context error) is the deadline firing, not a broken wire.
+		if cfg.Deadline > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			cls = api.CodeDeadlineExceeded
+		}
+		return "", time.Since(start), false, false, cls
 	}
 	hit := info.CacheHit
+	fin := info
 	if !info.State.Terminal() {
-		fin, err := cl.Wait(ctx, info.ID)
-		if err != nil {
-			return info.ID, time.Since(start), hit, errClass(err)
-		}
-		if fin.State != service.JobDone {
-			return info.ID, time.Since(start), hit, "state_" + string(fin.State)
+		if fin, err = cl.Wait(ctx, info.ID); err != nil {
+			return info.ID, time.Since(start), hit, false, errClass(err)
 		}
 	}
-	return info.ID, time.Since(start), hit, ""
+	if fin.State != service.JobDone {
+		cls := "state_" + string(fin.State)
+		if fin.ErrorCode != "" {
+			// Post-202 shed (deadline_exceeded, queue_full at settle): the
+			// machine-readable code beats the bare state label.
+			cls = fin.ErrorCode
+		}
+		return info.ID, time.Since(start), hit, false, cls
+	}
+	degraded := fin.Result != nil && fin.Result.Degraded
+	return info.ID, time.Since(start), hit, degraded, ""
+}
+
+// scrapeSpills sums wloptr_spills_total across reasons from the target's
+// /metrics exposition. Best effort: any failure (bare backend, no router
+// metrics, unreadable body) reads as zero.
+func scrapeSpills(target string) int64 {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var total int64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "wloptr_spills_total") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+				total += int64(v)
+			}
+		}
+	}
+	return total
 }
 
 func errClass(err error) string {
@@ -248,10 +336,11 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 	}
 
 	type sample struct {
-		id  string
-		lat time.Duration
-		hit bool
-		cls string
+		id   string
+		lat  time.Duration
+		hit  bool
+		degr bool
+		cls  string
 	}
 	samples := make([]sample, cfg.Jobs)
 	start := time.Now()
@@ -269,8 +358,8 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					id, lat, hit, cls := oneJob(ctx, cl, cfg, i)
-					samples[i] = sample{id, lat, hit, cls}
+					id, lat, hit, degr, cls := oneJob(ctx, cl, cfg, i)
+					samples[i] = sample{id, lat, hit, degr, cls}
 				}
 			}()
 		}
@@ -298,8 +387,8 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				id, lat, hit, cls := oneJob(ctx, cl, cfg, i)
-				samples[i] = sample{id, lat, hit, cls}
+				id, lat, hit, degr, cls := oneJob(ctx, cl, cfg, i)
+				samples[i] = sample{id, lat, hit, degr, cls}
 			}(i)
 		}
 		wg.Wait()
@@ -325,6 +414,9 @@ func run(ctx context.Context, cl *api.Client, cfg runConfig) (*Report, error) {
 		rep.Completed++
 		if s.hit {
 			rep.CacheHits++
+		}
+		if s.degr {
+			rep.Degraded++
 		}
 		if s.lat > slowest {
 			slowest, rep.SlowestJobID = s.lat, s.id

@@ -155,6 +155,7 @@ func main() {
 		Store:           st,
 		NodeID:          nodeID,
 		Tracer:          rec,
+		Log:             logger,
 		PlanObserver: func(ev core.PlanEvent) {
 			if ev.Kind == core.PlanBuilt {
 				planSeconds.Observe(ev.Duration.Seconds())

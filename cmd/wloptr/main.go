@@ -16,9 +16,16 @@
 // key — the spec content digest, or the registry name for named
 // submissions — and forwards to the key's owner on the ring. If the owner
 // is ejected, the request fails over along the ring's deterministic
-// clockwise order; if the owner is merely saturated, the router answers
-// 429 queue_full with Retry-After rather than spilling the digest's work
-// onto a cold backend. Reads follow a job-ID affinity map with fan-out
+// clockwise order; if the owner is merely saturated, the router waits
+// -spill-wait (clamped to a slice of the job's X-Wlopt-Deadline when it
+// has one) for capacity, retries the owner once, and then spills to the
+// next ring backend — a cold-cache plan build beats a rejection. Only
+// when every candidate is saturated does it answer 429 queue_full, with
+// Retry-After derived from the owner's probed queue occupancy. A
+// per-backend circuit breaker (-breaker-threshold consecutive proxy
+// failures to open, -breaker-cooldown before the half-open trial)
+// suspends backends that answer probes but fail real traffic. Reads
+// follow a job-ID affinity map with fan-out
 // fallback; GET /v1/jobs fans in across all healthy backends with a
 // composite cursor; ?watch=1 proxies the backend's SSE stream frame by
 // frame. Every proxied response carries X-Wlopt-Backend.
@@ -54,6 +61,9 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
 		ejectAfter    = flag.Int("eject-after", 3, "consecutive probe failures before ejection")
 		readmitAfter  = flag.Int("readmit-after", 2, "consecutive probe successes before readmission")
+		spillWait     = flag.Duration("spill-wait", 0, "grace period before spilling past a saturated shard owner (0 = 250ms)")
+		brkThreshold  = flag.Int("breaker-threshold", 0, "consecutive proxy failures before a backend's circuit breaker opens (0 = 5)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before the half-open trial request (0 = 5s)")
 		logFormat     = flag.String("log", "text", "log format: text or json")
 	)
 	flag.Parse()
@@ -74,16 +84,19 @@ func main() {
 
 	rt := router.New(router.Config{
 		Pool: router.PoolConfig{
-			Backends:      pool,
-			InFlight:      *inflight,
-			ProbeInterval: *probeInterval,
-			ProbeTimeout:  *probeTimeout,
-			EjectAfter:    *ejectAfter,
-			ReadmitAfter:  *readmitAfter,
+			Backends:         pool,
+			InFlight:         *inflight,
+			ProbeInterval:    *probeInterval,
+			ProbeTimeout:     *probeTimeout,
+			EjectAfter:       *ejectAfter,
+			ReadmitAfter:     *readmitAfter,
+			BreakerThreshold: *brkThreshold,
+			BreakerCooldown:  *brkCooldown,
 		},
-		MaxBody: *maxBody,
-		Addr:    *addr,
-		Log:     logger,
+		MaxBody:   *maxBody,
+		Addr:      *addr,
+		SpillWait: *spillWait,
+		Log:       logger,
 	})
 	rt.Start()
 	defer rt.Close()

@@ -20,6 +20,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/systems"
+	"repro/internal/trace"
 	"repro/internal/wlopt"
 )
 
@@ -44,8 +45,10 @@ func newBackend(t *testing.T, node string, cfg service.Config) *backendFixture {
 	met := api.NewServerMetrics(nil)
 	cfg.NodeID = node
 	cfg.OnJobDone = met.ObserveJob
+	rec := trace.NewRecorder(trace.RecorderConfig{})
+	cfg.Tracer = rec
 	mgr := service.New(cfg)
-	srv := api.NewServer(mgr, api.ServerConfig{Addr: node, Metrics: met})
+	srv := api.NewServer(mgr, api.ServerConfig{Addr: node, Metrics: met, Tracer: rec})
 	ts := httptest.NewServer(srv.Handler())
 	b := &backendFixture{node: node, url: ts.URL, mgr: mgr, met: met, ts: ts}
 	t.Cleanup(func() {

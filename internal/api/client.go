@@ -143,10 +143,18 @@ func (c *Client) retryDelay(retryN int, err error) time.Duration {
 	return d
 }
 
-// sleepRetry counts and performs one backoff, cut short by ctx.
+// sleepRetry counts and performs one backoff, cut short by ctx. A backoff
+// that would sleep to (or past) the caller's deadline is not performed at
+// all: there would be no budget left for the retry it buys, so the call
+// fails fast with the context error instead of discovering the expiry
+// after sleeping through it.
 func (c *Client) sleepRetry(ctx context.Context, retryN int, err error) error {
+	d := c.retryDelay(retryN, err)
+	if deadline, ok := ctx.Deadline(); ok && d >= time.Until(deadline) {
+		return context.DeadlineExceeded
+	}
 	c.retries.Add(1)
-	t := time.NewTimer(c.retryDelay(retryN, err))
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -175,16 +183,18 @@ func (c *Client) attemptCtx(ctx context.Context, attempt int) (context.Context, 
 
 // do issues a request with the retry policy applied and decodes the
 // response: 2xx into out (when non-nil), anything else into a *Error.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, body []byte, out any) (int, error) {
+// hdr carries extra request headers (nil for none); retried attempts
+// resend them unchanged.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, hdr http.Header, body []byte, out any) (int, error) {
 	attempts := c.retry.MaxAttempts
 	if attempts <= 1 {
-		return c.doOnce(ctx, method, path, query, body, out)
+		return c.doOnce(ctx, method, path, query, hdr, body, out)
 	}
 	var status int
 	var err error
 	for attempt := 1; ; attempt++ {
 		actx, cancel := c.attemptCtx(ctx, attempt)
-		status, err = c.doOnce(actx, method, path, query, body, out)
+		status, err = c.doOnce(actx, method, path, query, hdr, body, out)
 		cancel()
 		if err == nil {
 			return status, nil
@@ -198,13 +208,16 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			return status, err
 		}
 		if serr := c.sleepRetry(ctx, attempt, err); serr != nil {
-			return status, err
+			// Both chains stay inspectable: errors.Is sees the context
+			// error (the reason we stopped), errors.As still finds the
+			// *Error the server last answered.
+			return status, fmt.Errorf("%w; retries abandoned after: %w", serr, err)
 		}
 	}
 }
 
 // doOnce issues one request.
-func (c *Client) doOnce(ctx context.Context, method, path string, query url.Values, body []byte, out any) (int, error) {
+func (c *Client) doOnce(ctx context.Context, method, path string, query url.Values, hdr http.Header, body []byte, out any) (int, error) {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
@@ -212,6 +225,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, query url.Valu
 	req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -267,9 +283,20 @@ func (c *Client) Submit(ctx context.Context, req service.Request) (*service.JobI
 // SubmitBody posts a raw submit body (a request envelope or a bare spec
 // document) and reports the backend's status code alongside the job — the
 // router mirrors it (202 queued vs 200 cache hit) to its own caller.
+//
+// A deadline on ctx rides along as the X-Wlopt-Deadline header (absolute,
+// so it survives any number of proxy hops and retries unchanged): the
+// backend derives the job's deadline_ms from whatever remains of it at
+// acceptance. The header is computed from the caller's context, not the
+// per-attempt slice — the job's deadline is the caller's patience, not
+// one attempt's share of it.
 func (c *Client) SubmitBody(ctx context.Context, body []byte) (*service.JobInfo, int, error) {
+	var hdr http.Header
+	if deadline, ok := ctx.Deadline(); ok {
+		hdr = http.Header{DeadlineHeader: []string{strconv.FormatInt(deadline.UnixMilli(), 10)}}
+	}
 	var info service.JobInfo
-	status, err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, body, &info)
+	status, err := c.do(ctx, http.MethodPost, "/v1/jobs", nil, hdr, body, &info)
 	if err != nil {
 		return nil, status, err
 	}
@@ -279,7 +306,7 @@ func (c *Client) SubmitBody(ctx context.Context, body []byte) (*service.JobInfo,
 // Job fetches one job snapshot.
 func (c *Client) Job(ctx context.Context, id string) (*service.JobInfo, error) {
 	var info service.JobInfo
-	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, &info); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, nil, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -298,7 +325,7 @@ func (c *Client) Jobs(ctx context.Context, q service.ListQuery) (*service.JobPag
 		vals.Set("state", string(q.State))
 	}
 	var page service.JobPage
-	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs", vals, nil, &page); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs", vals, nil, nil, &page); err != nil {
 		return nil, err
 	}
 	return &page, nil
@@ -307,7 +334,7 @@ func (c *Client) Jobs(ctx context.Context, q service.ListQuery) (*service.JobPag
 // Cancel requests cooperative cancellation.
 func (c *Client) Cancel(ctx context.Context, id string) (*service.JobInfo, error) {
 	var info service.JobInfo
-	if _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, &info); err != nil {
+	if _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil, nil, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
@@ -317,7 +344,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (*service.JobInfo, error
 // tree is stitched: the proxy's own spans precede the backend's.
 func (c *Client) JobTrace(ctx context.Context, id string) (*trace.Info, error) {
 	var in trace.Info
-	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, nil, &in); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, nil, nil, &in); err != nil {
 		return nil, err
 	}
 	return &in, nil
@@ -326,7 +353,7 @@ func (c *Client) JobTrace(ctx context.Context, id string) (*trace.Info, error) {
 // Systems lists the registry systems the target accepts by name.
 func (c *Client) Systems(ctx context.Context) ([]service.SystemInfo, error) {
 	var list []service.SystemInfo
-	if _, err := c.do(ctx, http.MethodGet, "/v1/systems", nil, nil, &list); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/v1/systems", nil, nil, nil, &list); err != nil {
 		return nil, err
 	}
 	return list, nil
@@ -335,7 +362,7 @@ func (c *Client) Systems(ctx context.Context) ([]service.SystemInfo, error) {
 // Health probes /healthz.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var h Health
-	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &h); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, nil, &h); err != nil {
 		return nil, err
 	}
 	return &h, nil

@@ -105,6 +105,45 @@ func TestRetryHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryFailsFastPastDeadline: a Retry-After hint longer than the
+// caller's remaining deadline makes the sleep pointless — the client
+// must fail immediately with the context error, keeping the triggering
+// 429 inspectable, instead of dozing through a deadline it cannot
+// survive.
+func TestRetryFailsFastPastDeadline(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(ErrorEnvelope{Error: &Error{Code: CodeQueueFull, Message: "full"}})
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL).WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := cl.SubmitBody(ctx, []byte(`{}`))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("submit succeeded against a saturated server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded in the chain, got: %v", err)
+	}
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeQueueFull {
+		t.Fatalf("the 429 behind the abandoned retry should stay inspectable, got: %v", err)
+	}
+	if elapsed >= 250*time.Millisecond {
+		t.Fatalf("client spent %v of a 300ms deadline sleeping instead of failing fast", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls; want 1 (no retry fits the deadline)", got)
+	}
+}
+
 // TestRetrySkipsClientErrors: a bad_request answer is the caller's fault;
 // retrying it would just repeat the mistake.
 func TestRetrySkipsClientErrors(t *testing.T) {

@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -126,7 +127,13 @@ func ErrorFor(err error) *Error {
 	e := &Error{Code: CodeInternal, Message: err.Error(), Status: http.StatusInternalServerError}
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
+		// The default Retry-After is the conservative floor; the submit
+		// handler overwrites it with the manager's drain-rate estimate.
 		e.Code, e.Status, e.RetryAfterS = CodeQueueFull, http.StatusTooManyRequests, 1
+	case errors.Is(err, service.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		// Both the service's queue-shed sentinel and a raw context deadline
+		// (a proxy hop or wait cancelled mid-flight) speak the same code.
+		e.Code, e.Status = CodeDeadlineExceeded, http.StatusGatewayTimeout
 	case errors.Is(err, service.ErrClosed):
 		e.Code, e.Status = CodeUnavailable, http.StatusServiceUnavailable
 	case errors.Is(err, service.ErrNotFound):
@@ -199,9 +206,20 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if err := ApplyDeadlineHeader(&req, r.Header.Get(DeadlineHeader)); err != nil {
+		writeErr(w, err)
+		return
+	}
 	info, err := s.mgr.SubmitCtx(r.Context(), req)
 	if err != nil {
-		writeErr(w, err)
+		e := ErrorFor(err)
+		if e.Code == CodeQueueFull {
+			// Replace the constant floor with the drain-rate estimate: how
+			// long, at the recently observed pop rate, until the queue has
+			// room again.
+			e.RetryAfterS = s.mgr.RetryAfter()
+		}
+		WriteError(w, e)
 		return
 	}
 	status := http.StatusAccepted
@@ -256,6 +274,35 @@ func ParseSubmitBody(body []byte) (service.Request, error) {
 		req = service.Request{Spec: sp}
 	}
 	return req, nil
+}
+
+// ApplyDeadlineHeader folds an X-Wlopt-Deadline header (absolute unix
+// milliseconds) into the request's options.deadline_ms: the remaining
+// time wins when it is shorter than (or the only source of) the body's
+// own deadline. A header already in the past fails with
+// ErrDeadlineExceeded before the job is ever accepted — the fastest
+// possible fail-fast. The router reuses this when it terminates a
+// deadline locally; a proxied submit just forwards the header.
+func ApplyDeadlineHeader(req *service.Request, header string) error {
+	if header == "" {
+		return nil
+	}
+	ms, err := strconv.ParseInt(header, 10, 64)
+	if err != nil {
+		return fmt.Errorf("%w: bad %s %q: want absolute unix milliseconds", service.ErrBadRequest, DeadlineHeader, header)
+	}
+	remaining := time.Until(time.UnixMilli(ms))
+	if remaining <= 0 {
+		return fmt.Errorf("%w before submission: deadline passed %s ago", service.ErrDeadlineExceeded, (-remaining).Round(time.Millisecond))
+	}
+	remMS := int64(remaining / time.Millisecond)
+	if remMS < 1 {
+		remMS = 1
+	}
+	if req.Options.DeadlineMS == 0 || remMS < req.Options.DeadlineMS {
+		req.Options.DeadlineMS = remMS
+	}
+	return nil
 }
 
 func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, error) {
@@ -476,6 +523,12 @@ func (m *ServerMetrics) bindStats(stats func() service.Stats) {
 		}{
 			{"wlopt_queue_depth", "Jobs waiting for a worker.", func(s service.Stats) float64 { return float64(s.QueueLen) }},
 			{"wlopt_queue_capacity", "Pending-queue bound.", func(s service.Stats) float64 { return float64(s.QueueCap) }},
+			// queue_len/queue_cap alias depth/capacity under the names the
+			// /healthz census and the router's occupancy logic use, so a
+			// dashboard joining scrape to probe never translates names.
+			{"wlopt_queue_len", "Jobs waiting for a worker (alias of wlopt_queue_depth, named as in the /healthz census).", func(s service.Stats) float64 { return float64(s.QueueLen) }},
+			{"wlopt_queue_cap", "Pending-queue bound (alias of wlopt_queue_capacity, named as in the /healthz census).", func(s service.Stats) float64 { return float64(s.QueueCap) }},
+			{"wlopt_retry_after_seconds", "Drain-rate estimate of seconds until the pending queue has room.", func(s service.Stats) float64 { return float64(s.RetryAfterS) }},
 			{"wlopt_jobs_running", "Jobs currently executing.", func(s service.Stats) float64 { return float64(s.Running) }},
 			{"wlopt_watchers", "Live event subscribers.", func(s service.Stats) float64 { return float64(s.Watchers) }},
 			{"wlopt_result_cache_entries", "Result cache population.", func(s service.Stats) float64 { return float64(s.ResultCacheLen) }},
@@ -495,6 +548,9 @@ func (m *ServerMetrics) bindStats(stats func() service.Stats) {
 			{"wlopt_plan_builds_total", "Engine plans built from scratch.", func(s service.Stats) float64 { return float64(s.PlanBuilds) }},
 			{"wlopt_plan_restores_total", "Engine plans restored from snapshots.", func(s service.Stats) float64 { return float64(s.PlanRestores) }},
 			{"wlopt_jobs_recovered_total", "Journaled jobs recovered at boot.", func(s service.Stats) float64 { return float64(s.JobsRecovered) }},
+			{"wlopt_deadline_expired_total", "Jobs shed because their deadline elapsed while still waiting.", func(s service.Stats) float64 { return float64(s.DeadlineExpired) }},
+			{"wlopt_degraded_total", "Searches truncated by a deadline and answered best-so-far.", func(s service.Stats) float64 { return float64(s.Degraded) }},
+			{"wlopt_promotions_shed_total", "Promoted follower cohorts shed on a full queue at leader settle.", func(s service.Stats) float64 { return float64(s.PromotionsShed) }},
 		}
 		for _, c := range counters {
 			get := c.get

@@ -336,6 +336,14 @@ func TestMetricsExposition(t *testing.T) {
 		"wlopt_plan_builds_total 1",
 		"wlopt_queue_depth 0",
 		"wlopt_queue_capacity 256",
+		// The /healthz-named occupancy aliases and the drain-rate hint the
+		// router's spill/Retry-After logic scrapes.
+		"wlopt_queue_len 0",
+		"wlopt_queue_cap 256",
+		"wlopt_retry_after_seconds 1",
+		"wlopt_deadline_expired_total 0",
+		"wlopt_degraded_total 0",
+		"wlopt_promotions_shed_total 0",
 		`wlopt_http_requests_total{route="submit",code="202"} 1`,
 		`wlopt_http_requests_total{route="submit",code="200"} 1`,
 		"wlopt_jobs_submitted_total 2",

@@ -36,7 +36,15 @@ const APIVersion = "v1"
 
 // ServerVersion identifies the serving-tier build on /healthz; bump it
 // alongside wire-visible behavior changes.
-const ServerVersion = "wlopt/9"
+const ServerVersion = "wlopt/10"
+
+// DeadlineHeader carries a job's absolute deadline on submit, as unix
+// milliseconds. Absolute rather than relative so the value survives any
+// number of proxy hops, queues and retries without re-encoding: every
+// hop reads the same instant. The backend converts whatever remains of
+// it at acceptance into the job's deadline_ms; when the body also sets
+// options.deadline_ms, the earlier of the two wins.
+const DeadlineHeader = "X-Wlopt-Deadline"
 
 // Error codes carried in the error envelope. Clients switch on these, not
 // on message text.
@@ -57,6 +65,12 @@ const (
 	CodeUnavailable = "unavailable"
 	// CodeNoBackend: the router has no healthy backend for the request.
 	CodeNoBackend = "no_backend"
+	// CodeDeadlineExceeded: the job's deadline elapsed before a worker
+	// could start it — the queue shed it rather than compute an answer
+	// the caller had already stopped waiting for. A deadline that fires
+	// mid-search is not an error: the job finishes with a degraded
+	// best-so-far result instead.
+	CodeDeadlineExceeded = "deadline_exceeded"
 	// CodeInternal: unexpected server-side failure.
 	CodeInternal = "internal"
 )
@@ -124,6 +138,18 @@ type BackendHealth struct {
 	// proxied call); it resets to zero on any success, so a non-zero value
 	// means the backend is failing right now, not that it ever failed.
 	ConsecFailures int `json:"consec_failures"`
+	// Breaker is the per-backend circuit breaker state: "closed" (normal),
+	// "open" (proxying suspended after consecutive failures) or
+	// "half_open" (cooldown over; the next request is the trial probe).
+	Breaker string `json:"breaker"`
+	// QueueLen, QueueCap and RetryAfterS mirror the backend's own queue
+	// census from its last successful health probe: the occupancy signal
+	// behind the router's spill decisions, and the backend's drain-rate
+	// Retry-After estimate the router relays on 429s. All zero until a
+	// probe has succeeded.
+	QueueLen    int `json:"queue_len"`
+	QueueCap    int `json:"queue_cap"`
+	RetryAfterS int `json:"retry_after_s"`
 	// LastError is the most recent probe or proxy failure, if any.
 	LastError string `json:"last_error,omitempty"`
 }

@@ -23,6 +23,14 @@ type TransportConfig struct {
 	// BlackholeRate hangs the call until its context expires — the shape
 	// of a silently dropped packet with no RST.
 	BlackholeRate float64
+	// Match restricts injection to requests it returns true for;
+	// non-matching requests pass straight through (uncounted, and without
+	// consuming randomness, so the fault sequence over matched calls is
+	// unchanged by unmatched traffic). nil matches everything. A Match on
+	// the URL path makes a backend flap selectively — failing proxied
+	// /v1/jobs calls while answering /healthz probes — which is exactly
+	// the shape the router's circuit breaker exists to catch.
+	Match func(*http.Request) bool
 	// Next performs the real calls; nil selects http.DefaultTransport.
 	Next http.RoundTripper
 }
@@ -75,6 +83,9 @@ func (t *Transport) Stats() TransportStats {
 // RoundTrip draws latency, error and black-hole decisions in that fixed
 // order, then forwards the surviving call to the wrapped transport.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.cfg.Match != nil && !t.cfg.Match(req) {
+		return t.cfg.Next.RoundTrip(req)
+	}
 	t.calls.Add(1)
 	if t.src.hit(t.cfg.LatencyRate) {
 		t.delays.Add(1)

@@ -9,14 +9,46 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/service"
 )
 
 // Pool state errors, mapped by the router to wire codes: ErrNoBackend →
-// 503 no_backend, ErrBackendBusy → 429 queue_full (+ Retry-After).
+// 503 no_backend, ErrBackendBusy → 429 queue_full (+ Retry-After);
+// ErrBreakerOpen skips the backend on the ring walk like an ejection.
 var (
 	ErrNoBackend   = errors.New("no healthy backend")
 	ErrBackendBusy = errors.New("backend at in-flight capacity")
+	ErrBreakerOpen = errors.New("backend circuit breaker open")
 )
+
+// breakerState is the per-backend circuit breaker position. The breaker
+// is layered on (not merged into) the eject/readmit hysteresis: ejection
+// reacts to *probe* reachability, while the breaker tracks consecutive
+// *proxy* failures across readmissions — a flapping backend that answers
+// every probe but fails every real request gets readmitted over and over
+// by the prober, and without the breaker each readmission lets it eat
+// another request plus its retry budget.
+type breakerState int
+
+const (
+	// breakerClosed: normal operation; failures are being counted.
+	breakerClosed breakerState = iota
+	// breakerOpen: proxying suspended until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen: cooldown over; exactly one trial request is
+	// admitted. Success closes the breaker, failure re-opens it.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "closed"
+}
 
 // PoolConfig configures the health-checked backend set.
 type PoolConfig struct {
@@ -38,12 +70,24 @@ type PoolConfig struct {
 	// the probe path.
 	EjectAfter   int
 	ReadmitAfter int
+	// BreakerThreshold opens a backend's circuit breaker after that many
+	// consecutive proxy failures (<=0: 5). Unlike eject/readmit — which a
+	// passing probe resets — the breaker count persists across
+	// readmissions and only a successful proxied request clears it, so a
+	// backend that probes healthy but fails real traffic stays suspended.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker suspends proxying
+	// before admitting one half-open trial request (<=0: 5s).
+	BreakerCooldown time.Duration
 	// HTTPClient overrides the probe/proxy transport (tests inject
 	// httptest clients). Must not set a global Timeout.
 	HTTPClient *http.Client
 	// OnEject and OnReadmit observe health transitions (metrics, logs).
 	OnEject   func(addr string, reason error)
 	OnReadmit func(addr string)
+	// OnBreaker observes circuit-breaker transitions; state is the state
+	// just entered ("open", "half_open" or "closed").
+	OnBreaker func(addr, state string)
 	// Log receives health-transition log records. nil discards.
 	Log *slog.Logger
 }
@@ -64,6 +108,12 @@ func (c *PoolConfig) withDefaults() PoolConfig {
 	}
 	if out.ReadmitAfter <= 0 {
 		out.ReadmitAfter = 2
+	}
+	if out.BreakerThreshold <= 0 {
+		out.BreakerThreshold = 5
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = 5 * time.Second
 	}
 	if out.Log == nil {
 		out.Log = slog.New(slog.DiscardHandler)
@@ -88,6 +138,18 @@ type backend struct {
 	requests   int64 // proxied requests since boot
 	failures   int64 // transport-level failures since boot
 	lastErr    string
+
+	// Circuit breaker state. brkFails counts consecutive proxy failures;
+	// probe successes do NOT reset it (probing healthy while failing
+	// traffic is exactly the flapping case the breaker exists for).
+	brkState breakerState
+	brkFails int
+	brkSince time.Time // when the breaker last opened
+	brkTrial bool      // half-open: the single trial slot is taken
+
+	// lastStats is the backend's own queue census from its most recent
+	// successful health probe (nil until one succeeds).
+	lastStats *service.Stats
 }
 
 // Pool is the health-checked backend set behind the router: it owns one
@@ -173,15 +235,18 @@ func (p *Pool) probeAll() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
 			defer cancel()
-			_, err := b.client.Health(ctx)
-			p.recordProbe(b, err)
+			h, err := b.client.Health(ctx)
+			p.recordProbe(b, h, err)
 		}(b)
 	}
 	wg.Wait()
 }
 
-// recordProbe applies one probe result to the eject/readmit counters.
-func (p *Pool) recordProbe(b *backend, err error) {
+// recordProbe applies one probe result to the eject/readmit counters and
+// captures the backend's queue census. Probe successes deliberately do
+// not touch the circuit breaker: only a successful proxied request (the
+// half-open trial) closes it.
+func (p *Pool) recordProbe(b *backend, h *api.Health, err error) {
 	var ejected, readmitted bool
 	b.mu.Lock()
 	if err != nil {
@@ -198,6 +263,9 @@ func (p *Pool) recordProbe(b *backend, err error) {
 	} else {
 		b.consecBad = 0
 		b.consecFail = 0
+		if h != nil && h.Stats != nil {
+			b.lastStats = h.Stats
+		}
 		if !b.healthy {
 			b.consecOK++
 			if b.consecOK >= p.cfg.ReadmitAfter {
@@ -223,32 +291,61 @@ func (p *Pool) recordProbe(b *backend, err error) {
 }
 
 // Acquire admits one request against addr: it fails with ErrNoBackend if
-// the backend is ejected and ErrBackendBusy if its in-flight bound is
+// the backend is ejected, ErrBreakerOpen if its circuit breaker is
+// suspending traffic, and ErrBackendBusy if its in-flight bound is
 // reached; otherwise it reserves a slot and returns the client plus a
 // release function the caller must invoke when the proxied request ends.
 // release reports whether the request failed at the transport level —
-// true ejects the backend immediately (passive detection).
+// true ejects the backend immediately (passive detection) and feeds the
+// breaker. An open breaker whose cooldown has elapsed moves to half-open
+// here and admits exactly one trial request.
 func (p *Pool) Acquire(addr string) (cl *api.Client, release func(transportErr error), err error) {
 	b := p.backends[addr]
 	if b == nil {
 		return nil, nil, ErrNoBackend
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var transition string
 	if !b.healthy {
+		b.mu.Unlock()
 		return nil, nil, ErrNoBackend
 	}
+	if b.brkState == breakerOpen {
+		if time.Since(b.brkSince) < p.cfg.BreakerCooldown {
+			b.mu.Unlock()
+			return nil, nil, ErrBreakerOpen
+		}
+		b.brkState = breakerHalfOpen
+		b.brkTrial = false
+		transition = "half_open"
+	}
+	if b.brkState == breakerHalfOpen && b.brkTrial {
+		b.mu.Unlock()
+		p.breakerChanged(b.addr, transition)
+		return nil, nil, ErrBreakerOpen
+	}
 	if b.inFlight >= p.cfg.InFlight {
+		b.mu.Unlock()
+		p.breakerChanged(b.addr, transition)
 		return nil, nil, ErrBackendBusy
+	}
+	if b.brkState == breakerHalfOpen {
+		b.brkTrial = true
 	}
 	b.inFlight++
 	b.requests++
-	return b.client, func(transportErr error) { p.release(b, transportErr) }, nil
+	cl = b.client
+	b.mu.Unlock()
+	p.breakerChanged(b.addr, transition)
+	return cl, func(transportErr error) { p.release(b, transportErr) }, nil
 }
 
-// release returns the admission slot and applies passive ejection.
+// release returns the admission slot, applies passive ejection, and
+// drives the circuit breaker: a failure re-opens a half-open breaker (or
+// opens a closed one at the threshold); a success closes it.
 func (p *Pool) release(b *backend, transportErr error) {
 	var ejected bool
+	var transition string
 	b.mu.Lock()
 	b.inFlight--
 	if transportErr != nil {
@@ -256,12 +353,19 @@ func (p *Pool) release(b *backend, transportErr error) {
 		b.lastErr = transportErr.Error()
 		b.consecOK = 0
 		b.consecFail++
+		transition = b.breakerFailLocked(p.cfg.BreakerThreshold)
 		if b.healthy {
 			b.healthy = false
 			ejected = true
 		}
 	} else {
 		b.consecFail = 0
+		b.brkFails = 0
+		if b.brkState != breakerClosed {
+			b.brkState = breakerClosed
+			b.brkTrial = false
+			transition = "closed"
+		}
 	}
 	b.mu.Unlock()
 	if ejected {
@@ -270,21 +374,58 @@ func (p *Pool) release(b *backend, transportErr error) {
 			p.cfg.OnEject(b.addr, transportErr)
 		}
 	}
+	p.breakerChanged(b.addr, transition)
+}
+
+// breakerFailLocked records one proxy failure against the breaker and
+// returns the transition it caused, if any. Caller holds b.mu.
+func (b *backend) breakerFailLocked(threshold int) string {
+	b.brkFails++
+	switch {
+	case b.brkState == breakerHalfOpen:
+		// The trial failed: straight back to open for another cooldown.
+		b.brkState = breakerOpen
+		b.brkSince = time.Now()
+		b.brkTrial = false
+		return "open"
+	case b.brkState == breakerClosed && b.brkFails >= threshold:
+		b.brkState = breakerOpen
+		b.brkSince = time.Now()
+		return "open"
+	}
+	return ""
+}
+
+// breakerChanged publishes a breaker transition (no-op for "").
+func (p *Pool) breakerChanged(addr, state string) {
+	if state == "" {
+		return
+	}
+	p.cfg.Log.Warn("backend breaker transition", "backend", addr, "state", state)
+	if p.cfg.OnBreaker != nil {
+		p.cfg.OnBreaker(addr, state)
+	}
 }
 
 // ReportFailure applies passive ejection for a transport failure seen
-// outside the Acquire/release path (read-side proxying).
+// outside the Acquire/release path (read-side proxying). Read-side
+// failures count toward opening the breaker, but never consume the
+// half-open trial — only a proxied submit does that.
 func (p *Pool) ReportFailure(addr string, err error) {
 	b := p.backends[addr]
 	if b == nil {
 		return
 	}
 	var ejected bool
+	var transition string
 	b.mu.Lock()
 	b.failures++
 	b.lastErr = err.Error()
 	b.consecOK = 0
 	b.consecFail++
+	if b.brkState == breakerClosed {
+		transition = b.breakerFailLocked(p.cfg.BreakerThreshold)
+	}
 	if b.healthy {
 		b.healthy = false
 		ejected = true
@@ -296,6 +437,7 @@ func (p *Pool) ReportFailure(addr string, err error) {
 			p.cfg.OnEject(addr, err)
 		}
 	}
+	p.breakerChanged(addr, transition)
 }
 
 // Healthy reports whether addr is currently admitted.
@@ -327,7 +469,7 @@ func (p *Pool) Healthz() []api.BackendHealth {
 	for _, addr := range p.ring.Addrs() {
 		b := p.backends[addr]
 		b.mu.Lock()
-		out = append(out, api.BackendHealth{
+		bh := api.BackendHealth{
 			Addr:           b.addr,
 			Healthy:        b.healthy,
 			InFlight:       b.inFlight,
@@ -335,9 +477,56 @@ func (p *Pool) Healthz() []api.BackendHealth {
 			Requests:       b.requests,
 			Failures:       b.failures,
 			ConsecFailures: b.consecFail,
+			Breaker:        b.brkState.String(),
 			LastError:      b.lastErr,
-		})
+		}
+		if b.lastStats != nil {
+			bh.QueueLen = b.lastStats.QueueLen
+			bh.QueueCap = b.lastStats.QueueCap
+			bh.RetryAfterS = b.lastStats.RetryAfterS
+		}
+		out = append(out, bh)
 		b.mu.Unlock()
 	}
 	return out
+}
+
+// Breaker reports addr's circuit-breaker state ("closed" if unknown).
+func (p *Pool) Breaker(addr string) string {
+	b := p.backends[addr]
+	if b == nil {
+		return breakerClosed.String()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.brkState.String()
+}
+
+// RetryAfterHint estimates how long a rejected submitter should back off
+// before addr has room, in whole seconds. It prefers the backend's own
+// drain-rate estimate from the last health probe and falls back to a
+// queue-occupancy scale (1s empty → 5s full) when the backend predates
+// the estimate or has not been probed yet. Always >= 1 so the hint can
+// be written into a Retry-After header as-is.
+func (p *Pool) RetryAfterHint(addr string) int {
+	b := p.backends[addr]
+	if b == nil {
+		return 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := 1
+	if st := b.lastStats; st != nil {
+		s = st.RetryAfterS
+		if s <= 0 && st.QueueCap > 0 {
+			s = 1 + 4*st.QueueLen/st.QueueCap
+		}
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > 60 {
+		s = 60
+	}
+	return s
 }

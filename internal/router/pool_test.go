@@ -4,6 +4,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -128,6 +130,155 @@ func TestPoolAdmissionBound(t *testing.T) {
 	rel2(nil)
 	if got := p.InFlight(b.ts.URL); got != 0 {
 		t.Fatalf("InFlight = %d after all releases", got)
+	}
+}
+
+// TestPoolBreakerOpensOnFlappingBackend drives the flapping scenario the
+// breaker exists for: a backend that answers every probe (so the
+// eject/readmit hysteresis keeps readmitting it) but fails every proxied
+// request. After BreakerThreshold consecutive proxy failures the breaker
+// opens and Acquire refuses despite the backend probing healthy; the
+// cooldown admits exactly one half-open trial; a successful trial closes
+// the breaker.
+func TestPoolBreakerOpensOnFlappingBackend(t *testing.T) {
+	b := newFlakyBackend(t)
+	var mu sync.Mutex
+	var transitions []string
+	p := NewPool(PoolConfig{
+		Backends:         []string{b.ts.URL},
+		ProbeInterval:    2 * time.Millisecond,
+		ReadmitAfter:     1,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		OnBreaker: func(_, state string) {
+			mu.Lock()
+			transitions = append(transitions, state)
+			mu.Unlock()
+		},
+	})
+	p.Start()
+	defer p.Close()
+	addr := b.ts.URL
+
+	// Three proxy failures, each followed by a probe-driven readmission:
+	// the probe successes must NOT reset the breaker count.
+	for i := 0; i < 3; i++ {
+		waitFor(t, "readmission", func() bool { return p.Healthy(addr) })
+		_, rel, err := p.Acquire(addr)
+		if err != nil {
+			t.Fatalf("Acquire before failure %d: %v", i+1, err)
+		}
+		rel(errors.New("injected transport failure"))
+	}
+	if got := p.Breaker(addr); got != "open" {
+		t.Fatalf("breaker %q after %d consecutive proxy failures, want open", got, 3)
+	}
+
+	// Probes keep readmitting it, but the open breaker holds the line.
+	waitFor(t, "readmission after breaker opened", func() bool { return p.Healthy(addr) })
+	if _, _, err := p.Acquire(addr); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Acquire during cooldown: %v, want ErrBreakerOpen", err)
+	}
+
+	// Cooldown over: exactly one trial request is admitted.
+	time.Sleep(60 * time.Millisecond)
+	_, rel, err := p.Acquire(addr)
+	if err != nil {
+		t.Fatalf("half-open trial refused: %v", err)
+	}
+	if got := p.Breaker(addr); got != "half_open" {
+		t.Fatalf("breaker %q during trial, want half_open", got)
+	}
+	if _, _, err := p.Acquire(addr); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second Acquire during the trial: %v, want ErrBreakerOpen", err)
+	}
+	rel(nil) // trial succeeds
+	if got := p.Breaker(addr); got != "closed" {
+		t.Fatalf("breaker %q after successful trial, want closed", got)
+	}
+	if _, rel2, err := p.Acquire(addr); err != nil {
+		t.Fatalf("Acquire after close: %v", err)
+	} else {
+		rel2(nil)
+	}
+
+	mu.Lock()
+	got := strings.Join(transitions, ",")
+	mu.Unlock()
+	if got != "open,half_open,closed" {
+		t.Fatalf("transitions %q, want open,half_open,closed", got)
+	}
+}
+
+// TestPoolBreakerReopensOnFailedTrial: a failed half-open trial goes
+// straight back to open for a fresh cooldown — no threshold re-count.
+func TestPoolBreakerReopensOnFailedTrial(t *testing.T) {
+	b := newFlakyBackend(t)
+	p := NewPool(PoolConfig{
+		Backends:         []string{b.ts.URL},
+		ProbeInterval:    2 * time.Millisecond,
+		ReadmitAfter:     1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  30 * time.Millisecond,
+	})
+	p.Start()
+	defer p.Close()
+	addr := b.ts.URL
+
+	_, rel, err := p.Acquire(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel(errors.New("boom")) // threshold 1: breaker opens
+	waitFor(t, "readmission", func() bool { return p.Healthy(addr) })
+	time.Sleep(40 * time.Millisecond)
+
+	_, rel, err = p.Acquire(addr) // half-open trial
+	if err != nil {
+		t.Fatalf("trial refused: %v", err)
+	}
+	rel(errors.New("boom again"))
+	if got := p.Breaker(addr); got != "open" {
+		t.Fatalf("breaker %q after failed trial, want open", got)
+	}
+	waitFor(t, "readmission after failed trial", func() bool { return p.Healthy(addr) })
+	if _, _, err := p.Acquire(addr); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Acquire inside the fresh cooldown: %v, want ErrBreakerOpen", err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	_, rel, err = p.Acquire(addr)
+	if err != nil {
+		t.Fatalf("second trial refused: %v", err)
+	}
+	rel(nil)
+	if got := p.Breaker(addr); got != "closed" {
+		t.Fatalf("breaker %q after recovery, want closed", got)
+	}
+}
+
+// TestPoolProbeCapturesStats: a successful probe stores the backend's
+// queue census, Healthz surfaces it, and RetryAfterHint prefers the
+// backend's own drain-rate estimate (falling back to 1 before any probe).
+func TestPoolProbeCapturesStats(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","version":"test","uptime_s":1,"addr":"x",
+			"stats":{"queue_len":6,"queue_cap":8,"retry_after_s":7}}`))
+	}))
+	t.Cleanup(ts.Close)
+	p := NewPool(PoolConfig{Backends: []string{ts.URL}, ProbeInterval: 2 * time.Millisecond})
+	if got := p.RetryAfterHint(ts.URL); got != 1 {
+		t.Fatalf("pre-probe hint %d, want the floor 1", got)
+	}
+	p.Start()
+	defer p.Close()
+	waitFor(t, "probe stats capture", func() bool { return p.RetryAfterHint(ts.URL) == 7 })
+	hz := p.Healthz()
+	if hz[0].QueueLen != 6 || hz[0].QueueCap != 8 || hz[0].RetryAfterS != 7 {
+		t.Fatalf("Healthz occupancy not captured: %+v", hz[0])
+	}
+	if hz[0].Breaker != "closed" {
+		t.Fatalf("breaker %q on a healthy backend, want closed", hz[0].Breaker)
 	}
 }
 

@@ -40,6 +40,14 @@ type Config struct {
 	// Entries beyond the bound evict FIFO; lookups for evicted jobs fall
 	// back to fanning out across the pool.
 	JobMapSize int
+	// SpillWait bounds how long a submission waits for its saturated shard
+	// owner (in-flight bound hit, or the backend answered queue_full) to
+	// free capacity before spilling to the next ring backend — accepting a
+	// cold-cache plan build over a rejection. When the job carries a
+	// deadline (X-Wlopt-Deadline), the wait is further clamped to a quarter
+	// of what remains of it, so tight deadlines spend their budget
+	// searching, not queueing. <=0 selects 250ms.
+	SpillWait time.Duration
 	// Log receives the router's structured log stream (health transitions,
 	// proxied submissions). nil discards.
 	Log *slog.Logger
@@ -82,6 +90,9 @@ func New(cfg Config) *Router {
 	if cfg.JobMapSize <= 0 {
 		cfg.JobMapSize = 65536
 	}
+	if cfg.SpillWait <= 0 {
+		cfg.SpillWait = 250 * time.Millisecond
+	}
 	if cfg.Log == nil {
 		cfg.Log = slog.New(slog.DiscardHandler)
 	}
@@ -108,6 +119,13 @@ func New(cfg Config) *Router {
 		rt.reg.Counter("wloptr_readmissions_total", "Backends readmitted to the pool.", "backend", addr).Inc()
 		if userReadmit != nil {
 			userReadmit(addr)
+		}
+	}
+	userBreaker := pc.OnBreaker
+	pc.OnBreaker = func(addr, state string) {
+		rt.reg.Counter("wloptr_breaker_transitions_total", "Circuit-breaker state transitions per backend.", "backend", addr, "to", state).Inc()
+		if userBreaker != nil {
+			userBreaker(addr, state)
 		}
 	}
 	rt.pool = NewPool(pc)
@@ -191,87 +209,77 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := r.Context()
+	var deadline time.Time
+	if h := r.Header.Get(api.DeadlineHeader); h != "" {
+		ms, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil {
+			writeErr(w, fmt.Errorf("%w: %s %q is not unix milliseconds", service.ErrBadRequest, api.DeadlineHeader, h))
+			return
+		}
+		deadline = time.UnixMilli(ms)
+		if !time.Now().Before(deadline) {
+			rt.rejected("deadline_expired")
+			writeErr(w, fmt.Errorf("%w before routing: deadline passed %s ago",
+				service.ErrDeadlineExceeded, time.Since(deadline).Round(time.Millisecond)))
+			return
+		}
+		// Fold the deadline into the proxy context: SubmitBody re-derives
+		// the header from it on every hop, and a deadline firing mid-proxy
+		// cancels the hop instead of waiting out a doomed request.
+		dctx, cancel := context.WithDeadline(ctx, deadline)
+		defer cancel()
+		ctx = dctx
+	}
+
 	var sawBusy bool
+	var fullErr *api.Error // last backend queue_full verdict on the walk
+	var fullAddr, owner string
 	for attempt, addr := range rt.pool.Ring().Seq(key) {
-		// One proxy span per ring attempt: the stitched trace shows the
-		// failover walk (busy / ejected / transport) backend by backend.
-		psp, pctx := trace.Start(r.Context(), "proxy")
-		psp.SetAttr("backend", addr)
-		psp.SetAttr("attempt", strconv.Itoa(attempt))
-		cl, release, err := rt.pool.Acquire(addr)
-		if errors.Is(err, ErrBackendBusy) {
-			// The digest's owner is healthy but saturated. Don't spill to
-			// the next backend — that would rebuild its plans elsewhere and
-			// split the cache — push back on the client instead.
-			psp.SetAttr("outcome", "busy")
-			psp.End()
-			sawBusy = true
-			break
+		if attempt == 0 {
+			owner = addr
 		}
-		if err != nil {
-			psp.SetAttr("outcome", "ejected")
-			psp.End()
-			continue // ejected: fail over along the ring
-		}
-		rt.reg.Counter("wloptr_proxy_requests_total", "Requests proxied per backend.", "backend", addr).Inc()
-		if attempt > 0 {
-			// Proxying past the shard owner: the ring walk failed over.
-			rt.reg.Counter("wloptr_proxy_retries_total", "Submissions proxied past the first ring position.", "backend", addr).Inc()
-		}
-		info, status, err := cl.SubmitBody(pctx, body)
-		if err != nil {
-			var apiErr *api.Error
-			if errors.As(err, &apiErr) {
-				// The backend answered: its verdict is authoritative
-				// (queue_full, bad options, ...) — propagate, don't spill.
-				psp.SetAttr("outcome", "backend_error")
-				psp.SetAttr("code", apiErr.Code)
-				psp.End()
-				release(nil)
-				if apiErr.Code == api.CodeQueueFull {
-					rt.rejected("backend_queue_full")
+		out, apiErr := rt.proxySubmit(ctx, r, w, addr, attempt, body)
+		if attempt == 0 && (out == submitBusy || out == submitQueueFull) {
+			// Spill-after-delay: the owner holds this digest's warm plans,
+			// so before proxying past it — a cold-cache build elsewhere —
+			// give it a bounded grace period and one retry.
+			out, apiErr = rt.spillWait(ctx, r, w, addr, body, deadline, out, apiErr)
+			if out == submitBusy || out == submitQueueFull {
+				reason := "owner_busy"
+				if out == submitQueueFull {
+					reason = "owner_queue_full"
 				}
-				w.Header().Set(BackendHeader, addr)
-				api.WriteError(w, apiErr)
-				return
+				rt.reg.Counter("wloptr_spills_total", "Submissions spilled past their saturated shard owner.", "reason", reason).Inc()
+				rt.cfg.Log.Warn("spilling past saturated owner",
+					"backend", addr, "reason", reason, "key", key)
 			}
-			// Client-side failure (disconnect or deadline mid-proxy): the
-			// backend is blameless — return the slot without ejecting, and
-			// skip the ring walk; retrying for a vanished client would only
-			// duplicate work.
-			if clientCaused(r, err) {
-				psp.SetAttr("outcome", "client_gone")
-				psp.End()
-				release(nil)
-				writeErr(w, err)
-				return
-			}
-			// Transport failure: eject and try the next ring position.
-			psp.SetAttr("outcome", "transport")
-			psp.End()
-			rt.reg.Counter("wloptr_proxy_failures_total", "Transport-level proxy failures per backend.", "backend", addr).Inc()
-			release(err)
-			continue
 		}
-		psp.SetAttr("outcome", "ok")
-		psp.SetAttr("job_id", info.ID)
-		psp.End()
-		release(nil)
-		rt.jobs.put(info.ID, addr)
-		rt.cfg.Log.Info("submit proxied",
-			"job_id", info.ID, "backend", addr, "trace_id", info.TraceID,
-			"attempt", attempt, "cache_hit", info.CacheHit)
-		w.Header().Set(BackendHeader, addr)
-		writeJSON(w, status, info)
+		switch out {
+		case submitDone:
+			return
+		case submitBusy:
+			sawBusy = true // keep walking: a spill beats a rejection
+		case submitQueueFull:
+			fullErr, fullAddr = apiErr, addr
+		}
+	}
+	if fullErr != nil {
+		// Every reachable backend that answered said queue_full: propagate
+		// the last verdict — it carries that backend's own drain-rate
+		// Retry-After estimate.
+		rt.rejected("backend_queue_full")
+		w.Header().Set(BackendHeader, fullAddr)
+		api.WriteError(w, fullErr)
 		return
 	}
 	if sawBusy {
 		rt.rejected("router_inflight_full")
 		api.WriteError(w, &api.Error{
 			Code:        api.CodeQueueFull,
-			Message:     "shard owner at in-flight capacity",
+			Message:     "all candidate backends at in-flight capacity",
 			Status:      http.StatusTooManyRequests,
-			RetryAfterS: 1,
+			RetryAfterS: rt.pool.RetryAfterHint(owner),
 		})
 		return
 	}
@@ -281,6 +289,148 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 		Message: "no healthy backend for shard",
 		Status:  http.StatusServiceUnavailable,
 	})
+}
+
+// submitOutcome classifies one proxied submit attempt.
+type submitOutcome int
+
+const (
+	submitDone      submitOutcome = iota // response written; stop the walk
+	submitBusy                           // router-side in-flight bound hit
+	submitQueueFull                      // backend answered queue_full
+	submitSkip                           // ejected, breaker open, or transport failure
+)
+
+func (o submitOutcome) String() string {
+	switch o {
+	case submitDone:
+		return "answered"
+	case submitBusy:
+		return "busy"
+	case submitQueueFull:
+		return "queue_full"
+	}
+	return "skip"
+}
+
+// proxySubmit runs one Acquire+submit attempt against addr. submitDone
+// means the response has been written (success, an authoritative backend
+// verdict, or a client-side failure); every other outcome leaves the
+// response unwritten so the caller can keep walking the ring. The
+// *api.Error accompanies submitQueueFull so the caller can propagate the
+// backend's own verdict — with its drain-rate Retry-After — if the whole
+// ring turns out to be saturated.
+func (rt *Router) proxySubmit(ctx context.Context, r *http.Request, w http.ResponseWriter, addr string, attempt int, body []byte) (submitOutcome, *api.Error) {
+	// One proxy span per ring attempt: the stitched trace shows the
+	// failover walk (busy / ejected / transport) backend by backend.
+	psp, pctx := trace.Start(ctx, "proxy")
+	psp.SetAttr("backend", addr)
+	psp.SetAttr("attempt", strconv.Itoa(attempt))
+	cl, release, err := rt.pool.Acquire(addr)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBackendBusy):
+			psp.SetAttr("outcome", "busy")
+			psp.End()
+			return submitBusy, nil
+		case errors.Is(err, ErrBreakerOpen):
+			psp.SetAttr("outcome", "breaker_open")
+		default:
+			psp.SetAttr("outcome", "ejected")
+		}
+		psp.End()
+		return submitSkip, nil // fail over along the ring
+	}
+	rt.reg.Counter("wloptr_proxy_requests_total", "Requests proxied per backend.", "backend", addr).Inc()
+	if attempt > 0 {
+		// Proxying past the shard owner: the ring walk failed over.
+		rt.reg.Counter("wloptr_proxy_retries_total", "Submissions proxied past the first ring position.", "backend", addr).Inc()
+	}
+	info, status, err := cl.SubmitBody(pctx, body)
+	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) {
+			psp.SetAttr("outcome", "backend_error")
+			psp.SetAttr("code", apiErr.Code)
+			psp.End()
+			release(nil)
+			if apiErr.Code == api.CodeQueueFull {
+				// Backend-side saturation is a spill/propagate decision for
+				// the caller, not an immediate answer: the next ring backend
+				// may have room.
+				return submitQueueFull, apiErr
+			}
+			// Any other backend answer is authoritative (bad options,
+			// deadline_exceeded, ...) — propagate, don't spill.
+			w.Header().Set(BackendHeader, addr)
+			api.WriteError(w, apiErr)
+			return submitDone, nil
+		}
+		// Client-side failure (disconnect or deadline mid-proxy): the
+		// backend is blameless — return the slot without ejecting, and
+		// skip the ring walk; retrying for a vanished client would only
+		// duplicate work.
+		if clientCaused(r, err) {
+			psp.SetAttr("outcome", "client_gone")
+			psp.End()
+			release(nil)
+			writeErr(w, err)
+			return submitDone, nil
+		}
+		// Transport failure: eject and try the next ring position.
+		psp.SetAttr("outcome", "transport")
+		psp.End()
+		rt.reg.Counter("wloptr_proxy_failures_total", "Transport-level proxy failures per backend.", "backend", addr).Inc()
+		release(err)
+		return submitSkip, nil
+	}
+	psp.SetAttr("outcome", "ok")
+	psp.SetAttr("job_id", info.ID)
+	psp.End()
+	release(nil)
+	rt.jobs.put(info.ID, addr)
+	rt.cfg.Log.Info("submit proxied",
+		"job_id", info.ID, "backend", addr, "trace_id", info.TraceID,
+		"attempt", attempt, "cache_hit", info.CacheHit)
+	w.Header().Set(BackendHeader, addr)
+	writeJSON(w, status, info)
+	return submitDone, nil
+}
+
+// spillWait is the delay phase of spill-after-delay: the saturated shard
+// owner gets SpillWait — clamped to a quarter of the job's remaining
+// deadline when it has one — to free capacity, then one retry. The
+// caller spills past it on anything but an answer. The wait is a single
+// sleep rather than a poll: a poll would re-submit against a backend
+// already reporting saturation.
+func (rt *Router) spillWait(ctx context.Context, r *http.Request, w http.ResponseWriter, addr string, body []byte, deadline time.Time, prev submitOutcome, prevErr *api.Error) (submitOutcome, *api.Error) {
+	wait := rt.cfg.SpillWait
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline) / 4; rem < wait {
+			wait = rem
+		}
+	}
+	if wait <= 0 {
+		return prev, prevErr // no budget left: spill immediately
+	}
+	sp, _ := trace.Start(ctx, "spill.wait")
+	sp.SetAttr("backend", addr)
+	sp.SetAttr("wait", wait.String())
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		// The deadline fired (or the client left) while we waited.
+		sp.SetAttr("outcome", "client_gone")
+		sp.End()
+		writeErr(w, ctx.Err())
+		return submitDone, nil
+	}
+	out, apiErr := rt.proxySubmit(ctx, r, w, addr, 0, body)
+	sp.SetAttr("outcome", out.String())
+	sp.End()
+	return out, apiErr
 }
 
 func (rt *Router) rejected(reason string) {

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// Deadline-aware admission control: jobs whose deadline expires while
+// waiting are shed before any search runs; a deadline that fires
+// mid-search truncates to a degraded best-so-far answer that is served
+// but never cached; and a cancelled leader's promoted follower that hits
+// a full queue is shed observably rather than stranded.
+
+func deadlinedOptions(strategy string, ms int64) spec.Options {
+	o := testOptions(strategy)
+	o.DeadlineMS = ms
+	return o
+}
+
+// TestDeadlineExpiresQueuedJob: with the single worker occupied, a
+// short-deadline job must be answered deadline_exceeded from the queue —
+// fast-failed without ever reaching a worker.
+func TestDeadlineExpiresQueuedJob(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, StepThrottle: 30 * time.Millisecond})
+	running, err := m.Submit(Request{System: "dwt97(fig3)", Options: spec.Options{
+		Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 14, Seed: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(Request{System: "decimator(M=4)", Options: deadlinedOptions("descent", 150)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitDone(t, m, queued.ID)
+	if fin.State != JobFailed {
+		t.Fatalf("queued deadlined job: state %s, want failed (error %q)", fin.State, fin.Error)
+	}
+	if fin.ErrorCode != "deadline_exceeded" {
+		t.Fatalf("error code %q, want deadline_exceeded (error %q)", fin.ErrorCode, fin.Error)
+	}
+	if fin.Result != nil {
+		t.Fatalf("shed job must not carry a result: %+v", fin.Result)
+	}
+	st := m.Stats()
+	if st.DeadlineExpired != 1 {
+		t.Fatalf("deadline_expired %d, want 1", st.DeadlineExpired)
+	}
+	if st.RetryAfterS < 1 {
+		t.Fatalf("retry_after_s %d, want >= 1", st.RetryAfterS)
+	}
+	// The worker was never disturbed: the long job still completes.
+	if _, err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, running.ID)
+}
+
+// TestDeadlineDegradesRunningSearch: a deadline that fires mid-search
+// yields a degraded best-so-far answer (done, not failed), and that
+// answer must not be cached — the next undegraded submission of the same
+// key runs the search for real instead of inheriting the truncation.
+func TestDeadlineDegradesRunningSearch(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, StepThrottle: 50 * time.Millisecond})
+	req := Request{System: "dwt97(fig3)", Options: spec.Options{
+		Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 14, Seed: 1,
+		DeadlineMS: 400,
+	}}
+	info, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitDone(t, m, info.ID)
+	if fin.State != JobDone {
+		t.Fatalf("deadlined running job: state %s, want done (error %q)", fin.State, fin.Error)
+	}
+	if fin.Result == nil || !fin.Result.Degraded {
+		t.Fatalf("result should be degraded best-so-far, got %+v", fin.Result)
+	}
+	if fin.Result.Cancelled {
+		t.Fatal("degraded result must not also read as cancelled")
+	}
+	if got := m.Stats().Degraded; got != 1 {
+		t.Fatalf("degraded stat %d, want 1", got)
+	}
+
+	// Same system, same options, no deadline: the fingerprint is identical
+	// (deadline_ms is excluded), so a cache hit here would mean the
+	// degraded answer was cached.
+	again, err := m.Submit(Request{System: "dwt97(fig3)", Options: spec.Options{
+		Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 14, Seed: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHit {
+		t.Fatal("degraded result was served from the cache")
+	}
+	if _, err := m.Cancel(again.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, again.ID)
+}
+
+// TestPromotedFollowerShedWhenQueueFull pins the settle path where a
+// cancelled leader's follower is promoted into a full queue: the cohort
+// must be shed explicitly — counted, logged with the job's trace ID, and
+// answered queue_full — never stranded waiting for a settle that already
+// happened.
+func TestPromotedFollowerShedWhenQueueFull(t *testing.T) {
+	var logBuf bytes.Buffer
+	m := testManager(t, Config{
+		Workers: 1, QueueSize: 1, StepThrottle: 30 * time.Millisecond,
+		Log: slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	leaderReq := Request{System: "dwt97(fig3)", Options: spec.Options{
+		Strategy: "descent", BudgetWidth: 8, MinFrac: 4, MaxFrac: 14, Seed: 1,
+	}}
+	leader, err := m.Submit(leaderReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pop the leader, so the queue slot is free for
+	// the filler and the next identical submission coalesces on a
+	// *running* leader.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		info, err := m.Get(leader.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leader never started running: %s", info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Fill the only queue slot with an unrelated job.
+	filler, err := m.Submit(Request{System: "decimator(M=4)", Options: testOptions("descent")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical request coalesces onto the running leader (no queue slot).
+	follower, err := m.Submit(leaderReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if follower.ID == leader.ID {
+		t.Fatal("follower was deduplicated into the leader's ID")
+	}
+	if m.Stats().Coalesced != 1 {
+		t.Fatalf("coalesced %d, want 1", m.Stats().Coalesced)
+	}
+
+	if _, err := m.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitDone(t, m, follower.ID)
+	if fin.State != JobFailed {
+		t.Fatalf("shed follower: state %s, want failed (error %q)", fin.State, fin.Error)
+	}
+	if fin.ErrorCode != "queue_full" {
+		t.Fatalf("error code %q, want queue_full (error %q)", fin.ErrorCode, fin.Error)
+	}
+	if got := m.Stats().PromotionsShed; got != 1 {
+		t.Fatalf("promotions_shed %d, want 1", got)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("shedding promoted follower")) ||
+		!bytes.Contains(logBuf.Bytes(), []byte(fin.TraceID)) {
+		t.Fatalf("shed event missing from log (want message + trace_id %s):\n%s", fin.TraceID, logBuf.String())
+	}
+	// The filler job was untouched by the shed.
+	waitDone(t, m, filler.ID)
+}
+
+// TestRetryAfterFromDrainRate exercises the drain-rate arithmetic behind
+// Retry-After directly: a synthetic 100ms-per-pop history must yield
+// ceil(queue_len × 100ms) seconds, clamped to [1, 60].
+func TestRetryAfterFromDrainRate(t *testing.T) {
+	m := testManager(t, Config{})
+	if got := m.RetryAfter(); got != 1 {
+		t.Fatalf("cold-start retry-after %d, want 1", got)
+	}
+	now := time.Now()
+	m.drainMu.Lock()
+	for i := 0; i < 5; i++ {
+		m.drainTimes[i] = now.Add(time.Duration(i) * 100 * time.Millisecond)
+	}
+	m.drainN, m.drainIdx = 5, 5
+	m.drainMu.Unlock()
+	for _, tc := range []struct{ queueLen, want int }{
+		{0, 1},     // empty queue: retry immediately
+		{10, 1},    // 10 × 100ms = 1s
+		{45, 5},    // 4.5s rounds up
+		{1000, 60}, // clamped
+	} {
+		if got := m.retryAfterFor(tc.queueLen); got != tc.want {
+			t.Fatalf("retryAfterFor(%d) = %d, want %d", tc.queueLen, got, tc.want)
+		}
+	}
+}

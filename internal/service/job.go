@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/spec"
@@ -42,6 +44,10 @@ type JobResult struct {
 	UniformFrac int            `json:"uniform_frac"`
 	UniformCost float64        `json:"uniform_cost"`
 	Cancelled   bool           `json:"cancelled,omitempty"`
+	// Degraded marks a deadline-truncated search: the assignment is the
+	// best-so-far at cutoff — valid to use, but not the canonical answer
+	// for this (digest, options) identity, and never cached as it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func toJobResult(r *wlopt.Result) *JobResult {
@@ -57,6 +63,7 @@ func toJobResult(r *wlopt.Result) *JobResult {
 		UniformFrac: r.UniformFrac,
 		UniformCost: r.UniformCost,
 		Cancelled:   r.Cancelled,
+		Degraded:    r.Degraded,
 	}
 }
 
@@ -82,6 +89,13 @@ type JobInfo struct {
 	Finished    *time.Time `json:"finished,omitempty"`
 	Result      *JobResult `json:"result,omitempty"`
 	Error       string     `json:"error,omitempty"`
+	// ErrorCode is the machine-readable class of Error for failures whose
+	// cause clients branch on — a job shed at its deadline reports
+	// "deadline_exceeded", a promoted follower shed on a full queue
+	// "queue_full". Empty for other failures. Submit-time rejections carry
+	// the same codes in the HTTP error envelope instead; this field covers
+	// failures that happen after the 202, surfacing via Get/Wait/Watch.
+	ErrorCode string `json:"error_code,omitempty"`
 	// TraceID keys the job's span tree (GET /v1/jobs/{id}/trace); empty
 	// when the manager runs without a trace recorder.
 	TraceID string `json:"trace_id,omitempty"`
@@ -111,6 +125,12 @@ type job struct {
 	opts    spec.Options // defaulted
 	digest  string
 	key     string // digest + options fingerprint
+	// deadline is the absolute instant the caller stops caring, from
+	// opts.DeadlineMS anchored at acceptance; zero means none. Immutable
+	// after construction. While waiting, dlTimer (guarded by mu) evicts
+	// the job at the deadline; while running, the search context expires
+	// at it instead.
+	deadline time.Time
 	// onDone, when set, observes the terminal snapshot exactly once
 	// (Config.OnJobDone); invoked with no locks held.
 	onDone func(*JobInfo)
@@ -140,6 +160,7 @@ type job struct {
 	journalDone bool
 
 	mu        sync.Mutex
+	dlTimer   *time.Timer // deadline eviction, armed while waiting
 	state     JobState
 	cacheHit  bool
 	budget    float64
@@ -154,6 +175,11 @@ type job struct {
 	events  []Event
 	subs    map[int]chan Event
 	nextSub int
+
+	// muted aliases the manager's halted flag: a crash-stopped manager
+	// (Halt, the SIGKILL stand-in) must not deliver events to watchers —
+	// a killed process goes silent, its streams die when the sockets do.
+	muted *atomic.Bool
 }
 
 // snapshot renders the job as a JobInfo under its lock.
@@ -184,8 +210,22 @@ func (j *job) snapshot() *JobInfo {
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
+		info.ErrorCode = errCode(j.err)
 	}
 	return info
+}
+
+// errCode classifies a terminal error for JobInfo.ErrorCode. The strings
+// match the API layer's wire codes (api imports service, so the
+// constants live there; these literals are the contract).
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	}
+	return ""
 }
 
 // publishLocked appends an event to the history and fans it out; j.mu must
@@ -196,6 +236,9 @@ func (j *job) publishLocked(ev Event) {
 	ev.Seq = len(j.events) + 1
 	ev.JobID = j.id
 	j.events = append(j.events, ev)
+	if j.muted != nil && j.muted.Load() {
+		return
+	}
 	for _, ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -244,6 +287,13 @@ func (j *job) setStateLocked(s JobState) bool {
 // single setStateLocked call that returned true) and that no locks are
 // held.
 func (j *job) notifyDone() {
+	j.mu.Lock()
+	t := j.dlTimer
+	j.dlTimer = nil
+	j.mu.Unlock()
+	if t != nil {
+		t.Stop() // terminal jobs don't need their deadline eviction anymore
+	}
 	info := j.snapshot()
 	j.endTrace(info)
 	if j.onDone != nil {

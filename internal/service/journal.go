@@ -161,7 +161,15 @@ func (m *Manager) recoverOne(je *journalEntry) {
 		state:     JobQueued,
 		submitted: je.Submitted,
 		subs:      make(map[int]chan Event),
+		muted:     &m.halted,
 		journaled: true, // the entry is on disk; the terminal hook retires it
+	}
+	if opts.DeadlineMS > 0 {
+		// The deadline anchors at the *original* acceptance, which the
+		// journal preserved: a job recovered after its deadline passed is
+		// evicted immediately (the timer fires at once) instead of burning
+		// a worker on an answer its caller stopped waiting for.
+		j.deadline = je.Submitted.Add(time.Duration(opts.DeadlineMS) * time.Millisecond)
 	}
 	if m.cfg.Tracer != nil {
 		// A recovered job gets a fresh trace — the original caller's trace
@@ -189,6 +197,7 @@ func (m *Manager) recoverOne(je *journalEntry) {
 	}
 	if leader, ok := m.inflight[key]; ok {
 		m.joinLocked(j, leader)
+		m.armDeadline(j)
 		return
 	}
 	m.mu.Unlock()
@@ -207,6 +216,7 @@ func (m *Manager) recoverOne(je *journalEntry) {
 	}
 	if leader, ok := m.inflight[key]; ok {
 		m.joinLocked(j, leader)
+		m.armDeadline(j)
 		return
 	}
 	if cr != nil {
@@ -228,6 +238,7 @@ func (m *Manager) recoverOne(je *journalEntry) {
 	m.inflight[key] = j
 	m.registerLocked(j)
 	m.mu.Unlock()
+	m.armDeadline(j)
 }
 
 // Halt crash-stops the manager: it stops accepting work and cancels

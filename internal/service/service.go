@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"strings"
@@ -88,6 +89,11 @@ type Config struct {
 	// PlanRestores counters. The daemon feeds a latency histogram and a
 	// structured log line from it.
 	PlanObserver func(core.PlanEvent)
+	// Log, when non-nil, receives structured warnings for load-shedding
+	// events that would otherwise be invisible outside counters — today
+	// that is the promoted-follower cohort shed when a cancelled leader's
+	// retry finds the queue full. nil disables the logging.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +144,12 @@ var (
 	// ErrQueueFull means the pending queue is at capacity (HTTP 429,
 	// with Retry-After — the service sheds load instead of buffering).
 	ErrQueueFull = errors.New("queue full")
+	// ErrDeadlineExceeded means the job's deadline elapsed before a worker
+	// could start it (HTTP 504): the answer could only ever arrive after
+	// the caller stopped caring, so the queue sheds it instead of running
+	// a search nobody will read. Jobs whose deadline fires *mid-search*
+	// are not errors — they finish Done with Result.Degraded set.
+	ErrDeadlineExceeded = errors.New("deadline exceeded")
 	// ErrClosed means the manager is shutting down (HTTP 503).
 	ErrClosed = errors.New("service closed")
 )
@@ -187,6 +199,21 @@ type Stats struct {
 	// means the previous process died abruptly with accepted work
 	// pending, and this one picked it up.
 	JobsRecovered int64 `json:"jobs_recovered"`
+	// DeadlineExpired counts jobs shed because their deadline elapsed
+	// while they were still waiting (queued, or riding a leader) — before
+	// any search ran on their behalf.
+	DeadlineExpired int64 `json:"deadline_expired"`
+	// Degraded counts searches truncated by a deadline mid-run and
+	// answered with their best-so-far assignment (Result.Degraded).
+	Degraded int64 `json:"degraded"`
+	// PromotionsShed counts coalesced followers dropped with ErrQueueFull
+	// when their cancelled leader's promotion found no queue room.
+	PromotionsShed int64 `json:"promotions_shed"`
+	// RetryAfterS is the backend's own estimate, from the observed queue
+	// drain rate, of how many seconds until the pending queue has room —
+	// the value a 429 should carry as Retry-After, exported here so a
+	// router can reuse it without re-deriving the rate.
+	RetryAfterS int `json:"retry_after_s"`
 	// Store is the persistent store census; nil when running in-memory.
 	Store *store.Stats `json:"store,omitempty"`
 }
@@ -233,6 +260,21 @@ type Manager struct {
 	// halted marks a crash-stop (Halt): store and journal writes are
 	// suppressed so the on-disk state looks SIGKILL'd, not drained.
 	halted atomic.Bool
+
+	// Shedding counters live outside m.mu: they are bumped from timer
+	// goroutines and settle paths that already hold j.mu, and the lock
+	// order there must stay m.mu → j.mu.
+	deadlineExpired atomic.Int64
+	degraded        atomic.Int64
+	promotionsShed  atomic.Int64
+
+	// drainMu guards the queue drain-rate window: the timestamps of the
+	// last drainWindow jobs a worker popped off the queue, from which
+	// RetryAfter estimates time-to-room for 429 responses.
+	drainMu    sync.Mutex
+	drainTimes [drainWindow]time.Time
+	drainN     int // population, up to drainWindow
+	drainIdx   int // next write position (ring)
 
 	mu        sync.Mutex
 	closed    bool
@@ -324,6 +366,12 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (*JobInfo, error) 
 		return nil, err
 	}
 	key := digest + "|" + opts.Fingerprint()
+	// The deadline anchors at acceptance: DeadlineMS is "total latency
+	// from submission", and this is where submission becomes real.
+	var deadline time.Time
+	if opts.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(opts.DeadlineMS) * time.Millisecond)
+	}
 
 	// Mint the job's spans before taking the manager lock: trace
 	// bookkeeping is never under m.mu. With no Tracer all three stay
@@ -364,9 +412,11 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (*JobInfo, error) 
 		opts:      opts,
 		digest:    digest,
 		key:       key,
+		deadline:  deadline,
 		state:     JobQueued,
 		submitted: time.Now(),
 		subs:      make(map[int]chan Event),
+		muted:     &m.halted,
 		traceID:   tr.ID(),
 		span:      jobSpan,
 		qspan:     qSpan,
@@ -389,6 +439,10 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (*JobInfo, error) 
 		// Followers are accepted work too: journal them, so a crash while
 		// their leader runs doesn't silently drop them.
 		m.journalAccept(j)
+		// A follower waits like a queued job does, so its deadline evicts
+		// it the same way: riding a leader that won't finish in time is
+		// still waiting too long.
+		m.armDeadline(j)
 		return info, nil
 	}
 	if m.cfg.Store != nil {
@@ -414,6 +468,7 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (*JobInfo, error) 
 		if leader, ok := m.inflight[key]; ok {
 			info := m.joinLocked(j, leader)
 			m.journalAccept(j)
+			m.armDeadline(j)
 			return info, nil
 		}
 		if cr != nil {
@@ -439,7 +494,52 @@ func (m *Manager) SubmitCtx(ctx context.Context, req Request) (*JobInfo, error) 
 	// here on is recoverable, and a crash before here raced the ack the
 	// client never received.
 	m.journalAccept(j)
+	m.armDeadline(j)
 	return j.snapshot(), nil
+}
+
+// armDeadline schedules the job's eviction at its deadline. Only jobs
+// still waiting when the timer fires are shed (expireJob checks); one
+// that reached a worker first is instead truncated by the
+// deadline-derived search context in run. The timer is released at the
+// job's terminal transition (notifyDone).
+func (m *Manager) armDeadline(j *job) {
+	if j.deadline.IsZero() {
+		return
+	}
+	t := time.AfterFunc(time.Until(j.deadline), func() { m.expireJob(j) })
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Lost the race with an early terminal transition; don't leave a
+		// timer ticking behind a finished job.
+		j.mu.Unlock()
+		t.Stop()
+		return
+	}
+	j.dlTimer = t
+	j.mu.Unlock()
+}
+
+// expireJob sheds a job whose deadline elapsed while it was still
+// waiting — queued for a worker, or coalesced behind a leader. It fails
+// fast with ErrDeadlineExceeded (journal retired through the normal
+// terminal hook, job span aborted "deadline"); jobs already running or
+// terminal are left alone.
+func (m *Manager) expireJob(j *job) {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.err = fmt.Errorf("%w after %s waiting", ErrDeadlineExceeded, time.Since(j.submitted).Round(time.Millisecond))
+	j.span.SetAttr("abort", "deadline")
+	became := j.setStateLocked(JobFailed)
+	j.mu.Unlock()
+	j.cancel()
+	if became {
+		m.deadlineExpired.Add(1)
+		j.notifyDone()
+	}
 }
 
 // serveHitLocked answers j straight from a cached result. Called with m.mu
@@ -517,7 +617,14 @@ func (m *Manager) resolve(req Request) (string, *spec.Spec, spec.Options, string
 	}
 	opts := req.Options
 	if opts.IsZero() && req.Spec != nil && req.Spec.Options != nil {
+		// IsZero ignores DeadlineMS, so a request carrying only a deadline
+		// still defers to the spec's embedded options — but the deadline is
+		// the caller's, and survives the substitution.
+		dl := opts.DeadlineMS
 		opts = *req.Spec.Options
+		if dl > 0 {
+			opts.DeadlineMS = dl
+		}
 	}
 	opts = opts.WithDefaults()
 	if err := opts.Validate(); err != nil {
@@ -593,10 +700,20 @@ func (m *Manager) worker() {
 
 // run executes one job on the calling worker goroutine.
 func (m *Manager) run(j *job) {
+	// Every pop frees a queue slot, whether the job runs or is skipped:
+	// both feed the drain-rate estimate behind RetryAfter.
+	m.recordDrain()
 	// Settle runs whatever happens to the leader — success, failure,
 	// cancellation before begin — so coalesced followers are never
 	// stranded.
 	defer m.settle(j)
+	// A job popped after its deadline is shed before any work happens —
+	// this closes the race where the worker wins against the eviction
+	// timer by a few microseconds.
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		m.expireJob(j)
+		return
+	}
 	if !j.begin() {
 		return
 	}
@@ -641,6 +758,16 @@ func (m *Manager) run(j *job) {
 	j.budget = budget
 	j.mu.Unlock()
 
+	// A deadlined job searches under a context that expires at the
+	// deadline: the anytime strategies then stop at their next greedy
+	// step and hand back the best-so-far assignment, which becomes a
+	// degraded answer below instead of a cancellation.
+	searchCtx := j.ctx
+	if !j.deadline.IsZero() {
+		var cancelSearch context.CancelFunc
+		searchCtx, cancelSearch = context.WithDeadline(j.ctx, j.deadline)
+		defer cancelSearch()
+	}
 	res, err := wlopt.RunStrategy(g, j.opts.Strategy, wlopt.Options{
 		Budget:       budget,
 		MinFrac:      j.opts.MinFrac,
@@ -650,14 +777,25 @@ func (m *Manager) run(j *job) {
 		Seed:         j.opts.Seed,
 		AnnealRounds: j.opts.AnnealRounds,
 		// With tracing on, carry the job span so RunStrategy opens its
-		// "search" span under it; With returns j.ctx unchanged otherwise.
-		Context: trace.With(j.ctx, j.span),
+		// "search" span under it; With returns searchCtx unchanged
+		// otherwise.
+		Context: trace.With(searchCtx, j.span),
 		Progress: func(ev wlopt.ProgressEvent) {
 			j.progress(ev)
-			m.throttle(j.ctx)
+			m.throttle(searchCtx)
 		},
 	})
-	if err == nil && res != nil && !res.Cancelled {
+	if err == nil && res != nil && res.Cancelled && j.ctx.Err() == nil && errors.Is(searchCtx.Err(), context.DeadlineExceeded) {
+		// The deadline — not the caller — stopped the search: the
+		// best-so-far assignment is a valid degraded answer, not a
+		// cancellation. It is served but never cached (below), so the
+		// key's canonical answer stays open for an undegraded run.
+		res.Cancelled = false
+		res.Degraded = true
+		j.span.SetAttr("degraded", "true")
+		m.degraded.Add(1)
+	}
+	if err == nil && res != nil && !res.Cancelled && !res.Degraded {
 		m.mu.Lock()
 		m.results.put(j.key, &cachedResult{res: res, budget: budget})
 		m.mu.Unlock()
@@ -693,7 +831,10 @@ func (m *Manager) settle(j *job) {
 	done := j.state == JobDone
 	j.mu.Unlock()
 
-	if done && err == nil && res != nil && !res.Cancelled {
+	// A degraded result answers only its own caller: followers may have
+	// longer (or no) deadlines, so they are promoted to run the search
+	// properly instead of inheriting a truncated answer.
+	if done && err == nil && res != nil && !res.Cancelled && !res.Degraded {
 		cr := &cachedResult{res: res, budget: budget}
 		m.mu.Unlock()
 		for _, f := range followers {
@@ -749,6 +890,12 @@ func (m *Manager) settle(j *job) {
 		f.cancelNow()
 	}
 	for _, f := range shed {
+		m.promotionsShed.Add(1)
+		if m.cfg.Log != nil {
+			m.cfg.Log.Warn("shedding promoted follower: queue full at leader settle",
+				"job_id", f.id, "trace_id", f.traceID, "leader", j.id,
+				"digest", shortDigest(f.digest))
+		}
 		f.finish(nil, ErrQueueFull)
 	}
 }
@@ -1042,22 +1189,82 @@ func (m *Manager) Wait(ctx context.Context, id string) (*JobInfo, error) {
 	}
 }
 
+// drainWindow sizes the drain-rate sample: enough pops to smooth over
+// per-job variance, few enough that the estimate tracks load shifts.
+const drainWindow = 32
+
+// recordDrain notes that a worker popped one job off the pending queue,
+// feeding the drain-rate window behind RetryAfter. Every pop counts —
+// including jobs skipped because they were cancelled or expired while
+// queued — because every pop frees a queue slot.
+func (m *Manager) recordDrain() {
+	m.drainMu.Lock()
+	m.drainTimes[m.drainIdx] = time.Now()
+	m.drainIdx = (m.drainIdx + 1) % drainWindow
+	if m.drainN < drainWindow {
+		m.drainN++
+	}
+	m.drainMu.Unlock()
+}
+
+// RetryAfter estimates, in whole seconds, how long until the pending
+// queue has room, from the observed drain rate over the recent window:
+// the Retry-After a 429 should carry instead of a constant. With no
+// drain history (cold start, or a queue that fills before anything ever
+// ran) it answers 1 — retry soon and let the next 429 carry a real
+// estimate. Clamped to [1, 60].
+func (m *Manager) RetryAfter() int {
+	return m.retryAfterFor(len(m.queue))
+}
+
+func (m *Manager) retryAfterFor(queueLen int) int {
+	m.drainMu.Lock()
+	n := m.drainN
+	var oldest, newest time.Time
+	if n > 0 {
+		newest = m.drainTimes[(m.drainIdx-1+drainWindow)%drainWindow]
+		oldest = m.drainTimes[(m.drainIdx-n+drainWindow)%drainWindow]
+	}
+	m.drainMu.Unlock()
+	if n < 2 || queueLen <= 0 {
+		return 1
+	}
+	elapsed := newest.Sub(oldest)
+	if elapsed <= 0 {
+		return 1
+	}
+	perPop := elapsed / time.Duration(n-1)
+	eta := perPop * time.Duration(queueLen)
+	s := int((eta + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	if s > 60 {
+		s = 60
+	}
+	return s
+}
+
 // Stats reports the census.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
-		Submitted:      m.submitted,
-		JobsRecovered:  m.recovered,
-		CacheHits:      m.cacheHits,
-		Coalesced:      m.coalesced,
-		QueueLen:       len(m.queue),
-		QueueCap:       m.cfg.QueueSize,
-		Workers:        m.cfg.Workers,
-		ResultCacheLen: m.results.len(),
-		GraphCacheLen:  m.graphs.len(),
-		PlanBuilds:     m.eng.PlanBuilds(),
-		PlanRestores:   m.eng.PlanRestores(),
+		Submitted:       m.submitted,
+		JobsRecovered:   m.recovered,
+		CacheHits:       m.cacheHits,
+		Coalesced:       m.coalesced,
+		QueueLen:        len(m.queue),
+		QueueCap:        m.cfg.QueueSize,
+		Workers:         m.cfg.Workers,
+		DeadlineExpired: m.deadlineExpired.Load(),
+		Degraded:        m.degraded.Load(),
+		PromotionsShed:  m.promotionsShed.Load(),
+		RetryAfterS:     m.retryAfterFor(len(m.queue)),
+		ResultCacheLen:  m.results.len(),
+		GraphCacheLen:   m.graphs.len(),
+		PlanBuilds:      m.eng.PlanBuilds(),
+		PlanRestores:    m.eng.PlanRestores(),
 	}
 	if m.cfg.Store != nil {
 		ss := m.cfg.Store.Stats()

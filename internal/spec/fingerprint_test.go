@@ -119,3 +119,18 @@ func TestFingerprintDistinguishesEveryResultAffectingField(t *testing.T) {
 		}
 	}
 }
+
+// TestFingerprintIgnoresDeadline: deadline_ms is caller patience, not
+// compute identity — two submissions that differ only in how long the
+// caller will wait must share one cache entry, or every deadline value
+// would fork its own cold cache line for an identical answer.
+func TestFingerprintIgnoresDeadline(t *testing.T) {
+	want := baseOptions().Fingerprint()
+	for _, ms := range []int64{1, 500, 60_000} {
+		o := baseOptions()
+		o.DeadlineMS = ms
+		if got := o.Fingerprint(); got != want {
+			t.Fatalf("deadline_ms=%d changed the fingerprint: %s vs %s", ms, got, want)
+		}
+	}
+}

@@ -150,9 +150,20 @@ type Options struct {
 	CostPerBit   map[string]float64 `json:"cost_per_bit,omitempty"`
 	Seed         int64              `json:"seed,omitempty"`
 	AnnealRounds int                `json:"anneal_rounds,omitempty"`
+	// DeadlineMS bounds the job's total latency in milliseconds from
+	// submission: a job still queued at the deadline is shed with
+	// deadline_exceeded, a running search is truncated to its best-so-far
+	// assignment (Result.Degraded). Zero means no deadline. Unlike every
+	// other field, the deadline describes the caller's patience, not the
+	// requested computation — it is excluded from Fingerprint, so a
+	// deadline-bearing submission shares cache identity with the same
+	// request un-deadlined.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
-// IsZero reports whether no option field is set.
+// IsZero reports whether no option field is set. DeadlineMS is ignored:
+// a request carrying only a deadline still defers to the spec's embedded
+// options for what to compute.
 func (o Options) IsZero() bool {
 	return o.Strategy == "" && o.Budget == 0 && o.BudgetWidth == 0 &&
 		o.MinFrac == 0 && o.MaxFrac == 0 && len(o.CostPerBit) == 0 &&
@@ -193,14 +204,23 @@ func (o Options) Validate() error {
 			return fmt.Errorf("spec: options: cost_per_bit[%q] = %g must be positive", name, w)
 		}
 	}
+	if o.DeadlineMS < 0 {
+		return fmt.Errorf("spec: options: deadline_ms %d must not be negative", o.DeadlineMS)
+	}
 	return nil
 }
 
 // Fingerprint returns a stable hash of the defaulted options — the second
 // half of the service's content-addressed job key (Digest covers the
-// system, Fingerprint the request).
+// system, Fingerprint the request). The deadline is excluded: it bounds
+// how long the caller will wait, not what result is being asked for, so
+// it must not split the cache — and a degraded (deadline-truncated)
+// result is never cached at all, so the shared identity can never serve
+// a truncated answer to an un-deadlined caller.
 func (o Options) Fingerprint() string {
-	return hashJSON(o.WithDefaults())
+	o = o.WithDefaults()
+	o.DeadlineMS = 0
+	return hashJSON(o)
 }
 
 // Parse decodes and fully validates a spec document. Syntax errors carry

@@ -108,6 +108,13 @@ type Result struct {
 	// search finished: the assignment is the best one reached, not the
 	// strategy's fixed point, and may not meet the budget.
 	Cancelled bool
+	// Degraded reports that the search was truncated by a caller deadline
+	// rather than abandoned: the assignment is the best-so-far at cutoff
+	// and is valid to serve, but a longer-deadlined rerun could improve on
+	// it, so it must never become the request's cached canonical answer.
+	// Set by the serving tier when it maps a deadline-induced cancellation
+	// back onto a live job; RunStrategy itself never sets it.
+	Degraded bool
 }
 
 // Oracle is the strategy-facing view of the accuracy oracle: it scores
